@@ -1,0 +1,1 @@
+"""Per-figure benchmarks (pytest-benchmark); see DESIGN.md's experiment index."""

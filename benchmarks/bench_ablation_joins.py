@@ -1,0 +1,85 @@
+"""Ablation — join strategy on the same workload.
+
+Section IV-E notes the production benchmark uses BroadcastHashJoin, "which
+is faster than the notoriously slow SortMerge Join". This ablation runs one
+M-scale join under all four physical strategies: the three vanilla
+operators (broadcast-hash, shuffle-hash, sort-merge) and the indexed join.
+"""
+
+import pytest
+
+from benchmarks.conftest import probe_df
+from repro.sql.analysis import resolve_expression
+from repro.sql.functions import col
+from repro.sql.joins import (
+    BroadcastHashJoinExec,
+    ShuffleHashJoinExec,
+    SortMergeJoinExec,
+)
+from repro.sql.logical import Relation
+from repro.sql.physical import ColumnarScanExec, RowSourceExec
+from repro.sql.types import LONG, Schema
+from repro.workloads import snb
+
+PROBE_SCHEMA = Schema.of(("k", LONG))
+
+
+@pytest.fixture(scope="module")
+def ablation_env(snb_pair):
+    keys = snb.sample_probe_keys(snb_pair.rows, max(1, len(snb_pair.rows) // 1000))
+    probe = probe_df(snb_pair.session, keys)
+    return snb_pair, probe, keys
+
+
+def _vanilla_join(cls, pair, probe, **kw):
+    session = pair.session
+    probe_exec = session.plan_physical(probe.plan)
+    # Scan the cached edges directly (bypasses join selection).
+    edges_leaf = pair.vanilla.plan
+    assert isinstance(edges_leaf, Relation) and edges_leaf.cached is not None
+    edges_exec = ColumnarScanExec(session, edges_leaf.cached, relation_name="edges")
+    lk = [resolve_expression(col("k"), probe_exec.schema)]
+    rk = [resolve_expression(col("edge_source"), edges_exec.schema)]
+    schema = probe_exec.schema.concat(edges_exec.schema)
+    return cls(session, probe_exec, edges_exec, lk, rk, "inner", None, schema, **kw)
+
+
+def test_ablation_broadcast_hash_join(benchmark, ablation_env):
+    pair, probe, _ = ablation_env
+    exec_ = _vanilla_join(BroadcastHashJoinExec, pair, probe, build_side="left")
+    benchmark.pedantic(lambda: exec_.execute().collect(), rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_shuffle_hash_join(benchmark, ablation_env):
+    pair, probe, _ = ablation_env
+    exec_ = _vanilla_join(ShuffleHashJoinExec, pair, probe, build_side="left")
+    benchmark.pedantic(lambda: exec_.execute().collect(), rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_sort_merge_join(benchmark, ablation_env):
+    """The 'notoriously slow' option."""
+    pair, probe, _ = ablation_env
+    exec_ = _vanilla_join(SortMergeJoinExec, pair, probe)
+    benchmark.pedantic(lambda: exec_.execute().collect(), rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_indexed_join(benchmark, ablation_env):
+    pair, probe, _ = ablation_env
+    joined = probe.join(pair.indexed.to_df(), on=("k", "edge_source"))
+    benchmark.pedantic(joined.collect_tuples, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_ablation_all_strategies_agree(ablation_env):
+    pair, probe, _ = ablation_env
+    want = sorted(
+        _vanilla_join(BroadcastHashJoinExec, pair, probe, build_side="left")
+        .execute().collect()
+    )
+    for cls, kw in (
+        (ShuffleHashJoinExec, {"build_side": "left"}),
+        (SortMergeJoinExec, {}),
+    ):
+        got = sorted(_vanilla_join(cls, pair, probe, **kw).execute().collect())
+        assert got == want, cls.__name__
+    indexed = sorted(probe.join(pair.indexed.to_df(), on=("k", "edge_source")).collect_tuples())
+    assert indexed == want

@@ -1,0 +1,49 @@
+"""Fig. 1 — repeated joins: vanilla rebuilds per run, indexed amortizes.
+
+The benchmark rows regenerate the flame-graph contrast: the vanilla join's
+time includes collect + hash-table build + probe on *every* execution; the
+indexed join only shuffles/broadcasts the small probe side and probes the
+pre-built index.
+"""
+
+import pytest
+
+from benchmarks.conftest import probe_df
+from repro.workloads import broconn
+
+
+@pytest.fixture(scope="module")
+def fig1(broconn_pair):
+    keys = [r[0] for r in broconn.sample_probe(broconn_pair.rows, fraction=0.001)]
+    probe = probe_df(broconn_pair.session, keys)
+    return broconn_pair, probe
+
+
+def test_fig01_vanilla_join_per_run(benchmark, fig1):
+    pair, probe = fig1
+    joined = probe.join(pair.vanilla, on=("k", "orig_h"))
+    result = benchmark(joined.collect_tuples)
+    assert result  # joins produce matches
+
+
+def test_fig01_indexed_join_per_run(benchmark, fig1):
+    pair, probe = fig1
+    joined = probe.join(pair.indexed.to_df(), on=("k", "orig_h"))
+    result = benchmark(joined.collect_tuples)
+    assert result
+
+
+def test_fig01_vanilla_rebuilds_hash_table_each_run(benchmark, fig1):
+    """Phase accounting: each vanilla execution adds hash-build time."""
+    pair, probe = fig1
+    session = pair.session
+    joined = probe.join(pair.vanilla, on=("k", "orig_h"))
+
+    def run_and_measure_build():
+        before = session.phase_timer.phases.get("build_hash_table", 0.0)
+        joined.collect_tuples()
+        after = session.phase_timer.phases.get("build_hash_table", 0.0)
+        assert after > before  # paid again on this run
+        return after - before
+
+    benchmark.pedantic(run_and_measure_build, rounds=3, iterations=1, warmup_rounds=1)

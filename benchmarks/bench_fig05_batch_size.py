@@ -1,0 +1,44 @@
+"""Fig. 5 — row batch size sweep: read and write cost per batch size.
+
+The paper normalizes to 4 KB (OS page size) batches and finds a sweet spot
+at 4 MB; 128 MB batches are "exceptionally poor for writes". We sweep
+4 KB..1 MB at our scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config, probe_df
+from repro.bench.harness import build_pair
+from repro.workloads import snb
+
+ROWS = 20_000
+BATCH_SIZES = [4 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+
+
+@pytest.fixture(scope="module", params=BATCH_SIZES, ids=lambda s: f"{s // 1024}KB")
+def sized_pair(request):
+    rows = snb.generate_snb_edges(ROWS // 1000)
+    pair = build_pair(
+        rows, snb.EDGE_SCHEMA, "edge_source",
+        config=bench_config(row_batch_size=request.param), name="edges",
+    )
+    return pair, request.param
+
+
+def test_fig05_read(benchmark, sized_pair):
+    pair, size = sized_pair
+    keys = snb.sample_probe_keys(pair.rows, 100)
+    joined = probe_df(pair.session, keys).join(pair.indexed.to_df(), on=("k", "edge_source"))
+    benchmark.extra_info["batch_size"] = size
+    benchmark(joined.collect_tuples)
+
+
+def test_fig05_write(benchmark, sized_pair):
+    pair, size = sized_pair
+    batch = snb.generate_snb_edges(2)  # 2000 rows per append
+    benchmark.extra_info["batch_size"] = size
+
+    def append():
+        pair.indexed.append_rows(batch).count()
+
+    benchmark.pedantic(append, rounds=3, iterations=1, warmup_rounds=1)

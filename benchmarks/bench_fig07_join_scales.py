@@ -1,0 +1,35 @@
+"""Fig. 7 / Table III — join probe-size sweep: indexed vs vanilla.
+
+One benchmark per (scale, side); the pytest-benchmark comparison table is
+the figure. The paper reports 3-8x speedups across S/M/L/XL.
+"""
+
+import pytest
+
+from benchmarks.conftest import probe_df
+
+SCALES = ["S", "M", "L", "XL"]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig07_vanilla(benchmark, snb_pair, snb_probe_keys, scale):
+    probe = probe_df(snb_pair.session, snb_probe_keys[scale], name=f"p{scale}")
+    joined = probe.join(snb_pair.vanilla, on=("k", "edge_source"))
+    rows = benchmark(joined.collect_tuples)
+    benchmark.extra_info["result_rows"] = len(rows)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig07_indexed(benchmark, snb_pair, snb_probe_keys, scale):
+    probe = probe_df(snb_pair.session, snb_probe_keys[scale], name=f"p{scale}")
+    joined = probe.join(snb_pair.indexed.to_df(), on=("k", "edge_source"))
+    rows = benchmark(joined.collect_tuples)
+    benchmark.extra_info["result_rows"] = len(rows)
+
+
+def test_fig07_results_identical(snb_pair, snb_probe_keys):
+    """Not a timing: correctness gate for the comparison above."""
+    probe = probe_df(snb_pair.session, snb_probe_keys["M"], name="pM")
+    v = sorted(probe.join(snb_pair.vanilla, on=("k", "edge_source")).collect_tuples())
+    i = sorted(probe.join(snb_pair.indexed.to_df(), on=("k", "edge_source")).collect_tuples())
+    assert v == i

@@ -1,0 +1,42 @@
+"""Fig. 8 — SQL operator microbenchmarks: vanilla columnar cache vs indexed.
+
+Expected shape: join and equality filter favour the index; projection and
+non-equality filter favour the columnar baseline (row-wise decode cost).
+"""
+
+import pytest
+
+from benchmarks.conftest import probe_df
+from repro.sql.functions import col
+from repro.workloads import snb
+
+
+@pytest.fixture(scope="module")
+def operators(snb_pair):
+    keys = snb.sample_probe_keys(snb_pair.rows, max(1, len(snb_pair.rows) // 1000))
+    probe = probe_df(snb_pair.session, keys)
+    hot = keys[0]
+    v, i = snb_pair.vanilla, snb_pair.indexed.to_df()
+    return {
+        ("join", "vanilla"): lambda: probe.join(v, on=("k", "edge_source")).collect_tuples(),
+        ("join", "indexed"): lambda: probe.join(i, on=("k", "edge_source")).collect_tuples(),
+        ("filter_eq", "vanilla"): lambda: v.where(col("edge_source") == hot).collect_tuples(),
+        ("filter_eq", "indexed"): lambda: i.where(col("edge_source") == hot).collect_tuples(),
+        ("filter_noneq", "vanilla"): lambda: v.where(col("weight") > 0.99).collect_tuples(),
+        ("filter_noneq", "indexed"): lambda: i.where(col("weight") > 0.99).collect_tuples(),
+        ("projection", "vanilla"): lambda: v.select("edge_dest").collect_tuples(),
+        ("projection", "indexed"): lambda: i.select("edge_dest").collect_tuples(),
+        ("aggregation", "vanilla"): lambda: v.group_by("edge_source").count().collect_tuples(),
+        ("aggregation", "indexed"): lambda: i.group_by("edge_source").count().collect_tuples(),
+        ("scan", "vanilla"): v.count,
+        ("scan", "indexed"): i.count,
+    }
+
+
+OPS = ["join", "filter_eq", "filter_noneq", "projection", "aggregation", "scan"]
+
+
+@pytest.mark.parametrize("op", OPS)
+@pytest.mark.parametrize("side", ["vanilla", "indexed"])
+def test_fig08_operator(benchmark, operators, op, side):
+    benchmark.pedantic(operators[(op, side)], rounds=3, iterations=1, warmup_rounds=1)

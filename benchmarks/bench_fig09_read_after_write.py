@@ -1,0 +1,34 @@
+"""Fig. 9 — read latency when writes interleave with queries.
+
+Pattern from the paper: runs of S joins with an append every 5 queries;
+larger appends slow the subsequent reads more (paper: <=100K rows -> ~3x,
+larger -> ~6x, still far better than vanilla, which tolerates no appends).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config, probe_df
+from repro.bench.harness import build_pair
+from repro.workloads import snb
+
+ROWS = 20_000
+WRITE_SIZES = [0, 100, 1000, 5000]
+
+
+@pytest.mark.parametrize("write_size", WRITE_SIZES)
+def test_fig09_join_latency_with_appends(benchmark, write_size):
+    rows = snb.generate_snb_edges(ROWS // 1000)
+    pair = build_pair(rows, snb.EDGE_SCHEMA, "edge_source", config=bench_config(), name="edges")
+    keys = snb.sample_probe_keys(rows, max(1, ROWS // 10000))
+    probe = probe_df(pair.session, keys)
+    append_batch = snb.generate_snb_edges(max(1, write_size // 1000), seed=77)[:write_size]
+    state = {"idf": pair.indexed, "q": 0}
+
+    def query_with_interleaved_writes():
+        state["q"] += 1
+        if write_size and state["q"] % 5 == 0:
+            state["idf"] = state["idf"].append_rows(append_batch)
+        probe.join(state["idf"].to_df(), on=("k", "edge_source")).collect_tuples()
+
+    benchmark.extra_info["rows_per_append"] = write_size
+    benchmark.pedantic(query_with_interleaved_writes, rounds=15, iterations=1, warmup_rounds=2)

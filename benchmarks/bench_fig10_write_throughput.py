@@ -1,0 +1,46 @@
+"""Fig. 10 — write throughput for appendRows and createIndex.
+
+Both APIs share the write mechanism (hash-shuffle rows to their partitions,
+insert into cTrie + row batches), so their throughputs are reported side by
+side, per write batch size.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bench.harness import build_pair
+from repro.sql.session import Session
+from repro.workloads import snb
+
+ROWS_PER_WRITE = [100, 1000, 10_000]
+
+
+@pytest.mark.parametrize("rows_per_write", ROWS_PER_WRITE)
+def test_fig10_append_rows(benchmark, rows_per_write):
+    base = snb.generate_snb_edges(5)
+    pair = build_pair(base, snb.EDGE_SCHEMA, "edge_source", config=bench_config(), name="edges")
+    batch = snb.generate_snb_edges(max(1, rows_per_write // 1000), seed=88)[:rows_per_write]
+    state = {"idf": pair.indexed}
+
+    def one_append():
+        state["idf"] = state["idf"].append_rows(batch)
+        state["idf"].count()  # materialize
+
+    benchmark.extra_info["rows_per_write"] = len(batch)
+    benchmark.pedantic(one_append, rounds=8, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows_per_second"] = len(batch) / benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("rows_per_write", [10_000, 50_000])
+def test_fig10_create_index(benchmark, rows_per_write):
+    """Same write path as append: shuffle + insert (paper Fig. 10 note)."""
+    rows = snb.generate_snb_edges(rows_per_write // 1000, seed=89)
+    session = Session(config=bench_config())
+
+    def create():
+        df = session.create_dataframe(rows, snb.EDGE_SCHEMA, "edges")
+        df.create_index("edge_source").cache_index()
+
+    benchmark.extra_info["rows_per_write"] = len(rows)
+    benchmark.pedantic(create, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows_per_second"] = len(rows) / benchmark.stats.stats.mean

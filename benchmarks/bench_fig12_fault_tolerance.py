@@ -1,0 +1,68 @@
+"""Fig. 12 — executor failure during a stream of indexed join queries.
+
+The benchmark times the recovery query (index partitions rebuilt from
+lineage + replayed appends) against the steady-state query, reproducing the
+paper's spike-then-normal latency profile.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_config, probe_df
+from repro.bench.harness import build_pair
+from repro.workloads import snb
+
+ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def fig12_env():
+    rows = snb.generate_snb_edges(ROWS // 1000)
+    pair = build_pair(rows, snb.EDGE_SCHEMA, "edge_source", config=bench_config(), name="edges")
+    keys = snb.sample_probe_keys(rows, max(1, ROWS // 10000))
+    probe = probe_df(pair.session, keys)
+    joined = probe.join(pair.indexed.to_df(), on=("k", "edge_source"))
+    expected = sorted(joined.collect_tuples())
+    return pair, joined, expected
+
+
+def test_fig12_steady_state_query(benchmark, fig12_env):
+    _, joined, expected = fig12_env
+    got = benchmark(joined.collect_tuples)
+    assert sorted(got) == expected
+
+
+def test_fig12_recovery_query_after_kill(benchmark, fig12_env):
+    pair, joined, expected = fig12_env
+    ctx = pair.session.context
+
+    def kill_and_query():
+        victims = ctx.alive_executor_ids()
+        if len(victims) > 1:
+            ctx.kill_executor(victims[0])
+        t0 = time.perf_counter()
+        got = joined.collect_tuples()
+        elapsed = time.perf_counter() - t0
+        assert sorted(got) == expected  # correct through recovery
+        return elapsed
+
+    benchmark.pedantic(kill_and_query, rounds=3, iterations=1)
+
+
+def test_fig12_latency_returns_to_normal(fig12_env):
+    pair, joined, expected = fig12_env
+    ctx = pair.session.context
+    if len(ctx.alive_executor_ids()) > 1:
+        ctx.kill_executor(ctx.alive_executor_ids()[0])
+    recovery = _timed(joined.collect_tuples)
+    normals = [_timed(joined.collect_tuples) for _ in range(5)]
+    # After the rebuild, queries run at (near) steady-state speed again.
+    assert min(normals) < recovery
+    assert sorted(joined.collect_tuples()) == expected
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,50 @@
+"""Fig. 13 — SNB short reads SQ1-SQ7, vanilla vs indexed.
+
+The paper's shape: every query speeds up except SQ5 and SQ6, whose
+projection/scan-heavy access patterns cannot use the index and regress on
+the row-wise representation.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.sql.session import Session
+from repro.workloads import snb
+
+SF = 20
+
+
+@pytest.fixture(scope="module")
+def snb_env():
+    edges = snb.generate_snb_edges(SF)
+    persons = snb.generate_snb_persons(SF)
+    session = Session(config=bench_config())
+    edges_df = session.create_dataframe(edges, snb.EDGE_SCHEMA, "edges")
+    session.create_dataframe(persons, snb.PERSON_SCHEMA, "persons").cache() \
+        .create_or_replace_temp_view("persons")
+    pid = snb.sample_probe_keys(edges, 1)[0]
+    return {
+        "session": session,
+        "vanilla": edges_df.cache(),
+        "indexed": edges_df.create_index("edge_source").cache_index(),
+        "pid": pid,
+        "queries": {q.name: q for q in snb.short_queries()},
+    }
+
+
+QUERY_NAMES = ["SQ1", "SQ2", "SQ3", "SQ4", "SQ5", "SQ6", "SQ7"]
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+@pytest.mark.parametrize("side", ["vanilla", "indexed"])
+def test_fig13_short_query(benchmark, snb_env, name, side):
+    session = snb_env["session"]
+    view = snb_env[side]
+    sql = snb_env["queries"][name].sql(snb_env["pid"])
+
+    def run():
+        view.create_or_replace_temp_view("edges")
+        return session.sql(sql).collect_tuples()
+
+    benchmark.extra_info["uses_index"] = snb_env["queries"][name].uses_index
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,46 @@
+"""Fig. 14 — TPC-DS store_sales JOIN date_dim across scale factors.
+
+The paper's trend: the larger the dataset, the larger the indexed speedup,
+because the index filters out ever more of the fact table.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.bench.harness import build_pair
+from repro.workloads import tpcds
+
+SCALE_FACTORS = [1, 10, 50]
+
+_pairs = {}
+
+
+@pytest.fixture(scope="module", params=SCALE_FACTORS, ids=lambda sf: f"SF{sf}")
+def tpcds_env(request):
+    sf = request.param
+    if sf not in _pairs:
+        sales = tpcds.generate_store_sales(sf)
+        pair = build_pair(
+            sales, tpcds.STORE_SALES_SCHEMA, "ss_sold_date_sk",
+            config=bench_config(), name="store_sales",
+        )
+        pair.session.create_dataframe(
+            tpcds.generate_date_dim(), tpcds.DATE_DIM_SCHEMA, "date_dim"
+        ).cache().create_or_replace_temp_view("date_dim")
+        _pairs[sf] = pair
+    return sf, _pairs[sf]
+
+
+@pytest.mark.parametrize("side", ["vanilla", "indexed"])
+def test_fig14_join(benchmark, tpcds_env, side):
+    sf, pair = tpcds_env
+    sql = tpcds.join_sql(year=2000)
+    view = pair.vanilla if side == "vanilla" else pair.indexed
+
+    def run():
+        view.create_or_replace_temp_view("store_sales")
+        return pair.session.sql(sql).collect_tuples()
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["scale_factor"] = sf
+    benchmark.extra_info["result_rows"] = len(rows)

@@ -1,0 +1,36 @@
+"""Fig. 15 — US Flights Q1-Q7 on the Databricks-Runtime-style setup.
+
+Paper shape: 5-20x speedups; integer-keyed point queries (Q5-Q7) gain the
+most, string-keyed queries (Q1, Q2) less (hash-then-verify overhead).
+"""
+
+import pytest
+
+QUERY_NAMES = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7"]
+STRING_KEYED = {"Q1", "Q2"}
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+@pytest.mark.parametrize("side", ["vanilla", "indexed"])
+def test_fig15_query(benchmark, flights_env, name, side):
+    session = flights_env["session"]
+    q = flights_env["queries"][name]
+    if side == "vanilla":
+        view = flights_env["vanilla"]
+    else:
+        view = flights_env["indexed_str" if name in STRING_KEYED else "indexed_int"]
+
+    def run():
+        view.create_or_replace_temp_view("flights")
+        return q(session).collect_tuples()
+
+    benchmark.extra_info["key_type"] = "string" if name in STRING_KEYED else "integer"
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_fig15_match_counts(flights_env):
+    """Q5-Q7's planted match counts (10/100/1000) hold on the indexed path."""
+    idf = flights_env["indexed_int"]
+    assert len(idf.lookup_tuples(10)) == 10
+    assert len(idf.lookup_tuples(100)) == 100
+    assert len(idf.lookup_tuples(1000)) == 1000

@@ -1,0 +1,90 @@
+"""Shared, session-scoped datasets for the per-figure benchmarks.
+
+Each fixture materializes one of the paper's tables (Table II) both ways —
+columnar cache (vanilla baseline) and Indexed DataFrame — once per pytest
+session, so individual benchmarks only time the queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Pair, build_pair
+from repro.config import Config
+from repro.sql.session import Session
+from repro.sql.types import LONG, Schema
+from repro.workloads import broconn, flights, snb, tpcds
+
+PROBE_SCHEMA = Schema.of(("k", LONG))
+
+#: Scaled-down sizes: large enough for stable timings, small enough that the
+#: whole benchmark suite finishes in minutes.
+SNB_ROWS = 60_000
+FLIGHTS_ROWS = 40_000
+BROCONN_ROWS = 30_000
+
+
+def bench_config(**kw) -> Config:
+    # broadcast_threshold is scaled with the data, exactly as the paper's
+    # 10 MB threshold relates to its 1B-row tables: small (S/M-like) probes
+    # broadcast, large (L/XL-like) probes force the two-sided shuffle join
+    # that vanilla Spark would run at scale.
+    defaults = dict(
+        default_parallelism=8,
+        shuffle_partitions=8,
+        row_batch_size=256 * 1024,
+        broadcast_threshold=4 * 1024,
+    )
+    defaults.update(kw)
+    return Config(**defaults)
+
+
+@pytest.fixture(scope="session")
+def snb_pair() -> Pair:
+    rows = snb.generate_snb_edges(SNB_ROWS // 1000)
+    return build_pair(rows, snb.EDGE_SCHEMA, "edge_source", config=bench_config(), name="edges")
+
+
+@pytest.fixture(scope="session")
+def snb_probe_keys(snb_pair) -> dict[str, list[int]]:
+    """Table III probe sets: S/M/L/XL = 1e-4..1e-1 of the build side."""
+    out = {}
+    for label, ratio in (("S", 1e-4), ("M", 1e-3), ("L", 1e-2), ("XL", 1e-1)):
+        n = max(1, int(len(snb_pair.rows) * ratio))
+        out[label] = snb.sample_probe_keys(snb_pair.rows, n, seed=n)
+    return out
+
+
+def probe_df(session: Session, keys: list[int], name: str = "probe"):
+    return session.create_dataframe([(k,) for k in keys], PROBE_SCHEMA, name)
+
+
+@pytest.fixture(scope="session")
+def flights_env():
+    """Flights + planes + selected-probe views, vanilla/int-index/str-index."""
+    fl = flights.generate_flights(FLIGHTS_ROWS)
+    pl = flights.generate_planes(FLIGHTS_ROWS)
+    session = Session(config=bench_config())
+    fl_df = session.create_dataframe(fl, flights.FLIGHTS_SCHEMA, "flights")
+    session.create_dataframe(pl, flights.PLANES_SCHEMA, "planes").cache() \
+        .create_or_replace_temp_view("planes")
+    for view, sel in (
+        ("flights_sel200", flights.select_flights(fl, 200)),
+        ("flights_sel400", flights.select_flights(fl, 400)),
+    ):
+        session.create_dataframe(sel, flights.FLIGHTS_SCHEMA, view) \
+            .create_or_replace_temp_view(view)
+    return {
+        "session": session,
+        "rows": fl,
+        "vanilla": fl_df.cache(),
+        "indexed_int": fl_df.create_index("flight_num").cache_index(),
+        "indexed_str": fl_df.create_index("tail_num").cache_index(),
+        "queries": flights.queries(),
+    }
+
+
+@pytest.fixture(scope="session")
+def broconn_pair() -> Pair:
+    rows = broconn.generate_broconn(BROCONN_ROWS)
+    return build_pair(rows, broconn.CONN_SCHEMA, "orig_h", config=bench_config(), name="conn")

@@ -1,0 +1,66 @@
+"""Indexed DataFrame — reproduction of "In-Memory Indexed Caching for
+Distributed Data Processing" (Uta, Ghit, Dave, Rellermeyer, Boncz;
+IPDPS 2022).
+
+Quick start::
+
+    from repro import Session, Schema, LONG, col
+
+    s = Session()
+    df = s.create_dataframe(rows, Schema.of(("src", LONG), ("dst", LONG)))
+    idf = df.create_index("src").cache_index()   # the Indexed DataFrame
+    idf.get_rows(42).show()                      # point lookup
+    small.join(idf.to_df(), on=("k", "src"))     # indexed join (automatic)
+    idf2 = idf.append_rows(new_edges)            # MVCC append -> new version
+
+Importing :mod:`repro` (or any subpackage) attaches ``create_index`` to
+DataFrame — the Python analogue of bundling the paper's library jar and
+letting its Scala implicit conversions extend Spark's DataFrame.
+
+Packages: :mod:`repro.engine` (Spark-core analogue), :mod:`repro.sql`
+(Spark SQL/Catalyst analogue), :mod:`repro.ctrie` (concurrent hash trie),
+:mod:`repro.indexed` (the paper's contribution), :mod:`repro.cluster`
+(simulated cluster cost models), :mod:`repro.workloads` (SNB / TPC-DS /
+US Flights / Broconn generators), :mod:`repro.bench` (experiment harness).
+"""
+
+from repro.config import Config
+from repro.engine.context import EngineContext
+from repro.sql import Session
+from repro.sql.functions import avg, col, count, lit, max_, min_, sum_
+from repro.sql.types import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    LONG,
+    STRING,
+    Schema,
+    StructField,
+)
+
+# Side effect: adds DataFrame.create_index (the "implicit conversion").
+from repro.indexed import IndexedDataFrame, enable_indexing  # noqa: E402  isort: skip
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOLEAN",
+    "Config",
+    "DOUBLE",
+    "EngineContext",
+    "INTEGER",
+    "IndexedDataFrame",
+    "LONG",
+    "STRING",
+    "Schema",
+    "Session",
+    "StructField",
+    "avg",
+    "col",
+    "count",
+    "enable_indexing",
+    "lit",
+    "max_",
+    "min_",
+    "sum_",
+]

@@ -1,0 +1,125 @@
+"""Shared benchmarking utilities and the paired vanilla/indexed setup.
+
+Every comparison in the paper is "Indexed DataFrame vs the default
+in-memory (columnar) cache" on the *same* data and query. :class:`Pair`
+holds both sides on one engine so experiments time them under identical
+conditions.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.bench.report import format_markdown_table, format_table
+from repro.config import Config
+from repro.sql.dataframe import DataFrame
+from repro.sql.session import Session
+from repro.sql.types import Schema
+
+
+def time_call(fn: Callable[[], Any], repeats: int = 5, warmup: int = 1) -> list[float]:
+    """Wall-clock seconds of ``fn`` over ``repeats`` runs (after warmup)."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def median(values: Sequence[float]) -> float:
+    return statistics.median(values)
+
+
+def mean(values: Sequence[float]) -> float:
+    return statistics.fmean(values)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table: id, axis headers, data rows, and notes."""
+
+    figure: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: str = ""
+    shape_checks: list[tuple[str, bool]] = field(default_factory=list)
+
+    def check(self, description: str, ok: bool) -> None:
+        """Record a qualitative shape assertion (who wins / where the
+        crossover is), the reproduction criterion of the brief."""
+        self.shape_checks.append((description, bool(ok)))
+
+    @property
+    def shape_ok(self) -> bool:
+        return all(ok for _, ok in self.shape_checks)
+
+    def to_text(self) -> str:
+        out = [format_table(self.headers, self.rows, title=f"{self.figure}: {self.title}")]
+        if self.notes:
+            out.append(self.notes)
+        for desc, ok in self.shape_checks:
+            out.append(f"  [{'ok' if ok else 'MISMATCH'}] {desc}")
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        out = [f"### {self.figure} — {self.title}", ""]
+        out.append(format_markdown_table(self.headers, self.rows))
+        out.append("")
+        if self.notes:
+            out.append(self.notes)
+            out.append("")
+        for desc, ok in self.shape_checks:
+            out.append(f"- {'✅' if ok else '❌'} {desc}")
+        return "\n".join(out)
+
+
+@dataclass
+class Pair:
+    """The same table held both ways: columnar-cached (vanilla Spark
+    baseline) and as an Indexed DataFrame."""
+
+    session: Session
+    schema: Schema
+    rows: list[tuple]
+    vanilla: DataFrame
+    indexed: Any  # IndexedDataFrame
+    index_build_seconds: float
+
+    def register_views(self, vanilla_name: str, indexed_name: str | None = None) -> None:
+        self.vanilla.create_or_replace_temp_view(vanilla_name)
+        self.indexed.create_or_replace_temp_view(indexed_name or vanilla_name + "_idx")
+
+
+def build_pair(
+    rows: list[tuple],
+    schema: Schema,
+    key_column: str,
+    config: Config | None = None,
+    session: Session | None = None,
+    num_partitions: int | None = None,
+    name: str = "t",
+) -> Pair:
+    """Materialize ``rows`` as both a columnar cache and an index."""
+    session = session or Session(
+        config=config
+        or Config(default_parallelism=8, shuffle_partitions=8, row_batch_size=256 * 1024)
+    )
+    df = session.create_dataframe(rows, schema, name, num_partitions=num_partitions)
+    vanilla = df.cache(num_partitions=num_partitions)
+    t0 = time.perf_counter()
+    idf = df.create_index(key_column, num_partitions=num_partitions)
+    idf.cache_index()
+    build = time.perf_counter() - t0
+    return Pair(session, schema, rows, vanilla, idf, build)
+
+
+def run_to_completion(df: DataFrame) -> int:
+    """Execute a DataFrame fully; return the row count (forces all work)."""
+    return len(df.collect_tuples())

@@ -1,0 +1,47 @@
+"""Simulated cluster substrate: topology, NUMA/network cost models, faults.
+
+The paper evaluates on real clusters (Table I: a 16-core Xeon private
+cluster with FDR InfiniBand, and EC2 i3.xlarge/i3.8xlarge under the
+Databricks Runtime). This package replaces those with an explicit model:
+
+* :mod:`~repro.cluster.topology` — machines x NUMA domains x executors x cores,
+  including presets matching Table I,
+* :mod:`~repro.cluster.network` — bandwidth/latency model that converts
+  shuffle/broadcast byte counts into simulated transfer time,
+* :mod:`~repro.cluster.numa` — local/remote memory-access penalty model used
+  by the Fig. 4 deployment experiment,
+* :mod:`~repro.cluster.metrics` — per-task accounting and the simulated
+  makespan computation (list scheduling of measured task times),
+* :mod:`~repro.cluster.faults` — executor failure injection (Fig. 12).
+
+Tasks still *really execute* in-process; the model only converts measured
+compute time + counted bytes into cluster-scale time, preserving relative
+shapes (who wins, where crossovers fall) rather than absolute numbers.
+"""
+
+from repro.cluster.faults import FaultInjector
+from repro.cluster.metrics import MetricsCollector, TaskMetrics
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import (
+    ClusterTopology,
+    ExecutorSpec,
+    Machine,
+    NUMADomain,
+    ec2_i3_8xlarge,
+    ec2_i3_xlarge,
+    private_cluster,
+)
+
+__all__ = [
+    "ClusterTopology",
+    "ExecutorSpec",
+    "FaultInjector",
+    "Machine",
+    "MetricsCollector",
+    "NUMADomain",
+    "NetworkModel",
+    "TaskMetrics",
+    "ec2_i3_8xlarge",
+    "ec2_i3_xlarge",
+    "private_cluster",
+]

@@ -1,0 +1,151 @@
+"""Task/stage accounting and simulated-makespan computation.
+
+Every task that runs in-process records a :class:`TaskMetrics`: measured
+compute seconds, bytes shuffled in/out, and where it ran. The
+:class:`MetricsCollector` aggregates these per stage and converts them into
+a *simulated makespan* by list-scheduling the measured (NUMA-adjusted) task
+times onto the topology's core slots and adding modeled transfer time for
+remote shuffle fetches. This is how a single-process run produces Fig. 4 /
+Fig. 6-shaped cluster numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.numa import NUMAModel
+from repro.cluster.topology import ClusterTopology
+
+
+def lpt_makespan(durations: "list[float]", slots: int) -> float:
+    """Longest-processing-time list schedule of ``durations`` onto ``slots``.
+
+    Shared by the collector's stage model and by what-if deployment
+    simulations (Fig. 4/6) that re-schedule one measured task set under
+    different topologies.
+    """
+    if not durations:
+        return 0.0
+    loads = [0.0] * max(1, slots)
+    for d in sorted(durations, reverse=True):
+        i = min(range(len(loads)), key=loads.__getitem__)
+        loads[i] += d
+    return max(loads)
+
+
+@dataclass
+class TaskMetrics:
+    """Observables of one task attempt."""
+
+    stage_id: int
+    partition: int
+    executor_id: str
+    compute_seconds: float = 0.0
+    shuffle_bytes_read_local: int = 0
+    shuffle_bytes_read_remote: int = 0
+    shuffle_bytes_written: int = 0
+    result_bytes: int = 0
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def shuffle_bytes_read(self) -> int:
+        return self.shuffle_bytes_read_local + self.shuffle_bytes_read_remote
+
+
+@dataclass
+class StageMetrics:
+    stage_id: int
+    tasks: list[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def total_compute(self) -> float:
+        return sum(t.compute_seconds for t in self.tasks)
+
+
+class MetricsCollector:
+    """Thread-safe sink for task metrics plus the makespan model."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        network: NetworkModel | None = None,
+        numa: NUMAModel | None = None,
+    ) -> None:
+        self.topology = topology
+        self.network = network or NetworkModel()
+        self.numa = numa or NUMAModel()
+        self._lock = threading.Lock()
+        self.stages: dict[int, StageMetrics] = {}
+        self.job_makespans: list[float] = []
+
+    def record(self, metrics: TaskMetrics) -> None:
+        with self._lock:
+            self.stages.setdefault(metrics.stage_id, StageMetrics(metrics.stage_id)).tasks.append(
+                metrics
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.stages.clear()
+            self.job_makespans.clear()
+            self.network.reset_counters()
+
+    # ------------------------------------------------------------------ model
+
+    def simulated_task_seconds(self, task: TaskMetrics) -> float:
+        """NUMA-adjusted compute time + modeled remote shuffle fetch time."""
+        executor = self.topology.executor(task.executor_id)
+        compute = task.compute_seconds * self.numa.task_time_factor(executor, self.topology)
+        fetch = 0.0
+        if task.shuffle_bytes_read_remote:
+            fetch = self.network.latency + task.shuffle_bytes_read_remote / self.network.bandwidth
+        if task.shuffle_bytes_read_local:
+            fetch += task.shuffle_bytes_read_local / self.network.local_bandwidth
+        return compute + fetch
+
+    def stage_makespan(self, stage_id: int) -> float:
+        """List-schedule the stage's tasks (longest first) onto core slots."""
+        stage = self.stages.get(stage_id)
+        if stage is None or not stage.tasks:
+            return 0.0
+        return lpt_makespan(
+            [self.simulated_task_seconds(t) for t in stage.tasks],
+            self.topology.total_cores,
+        )
+
+    def stage_task_times(self) -> dict[int, list[float]]:
+        """Raw measured compute seconds per stage (for what-if simulations)."""
+        with self._lock:
+            return {
+                sid: [t.compute_seconds for t in stage.tasks]
+                for sid, stage in self.stages.items()
+            }
+
+    def job_makespan(self, stage_ids: list[int] | None = None) -> float:
+        """Sum of stage makespans (stages separated by shuffle barriers)."""
+        ids = sorted(self.stages) if stage_ids is None else stage_ids
+        return sum(self.stage_makespan(s) for s in ids)
+
+    # ------------------------------------------------------------------ reports
+
+    def total_shuffle_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                t.shuffle_bytes_written for s in self.stages.values() for t in s.tasks
+            )
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            tasks = [t for s in self.stages.values() for t in s.tasks]
+        return {
+            "stages": float(len(self.stages)),
+            "tasks": float(len(tasks)),
+            "compute_seconds": sum(t.compute_seconds for t in tasks),
+            "shuffle_bytes_written": float(sum(t.shuffle_bytes_written for t in tasks)),
+            "shuffle_bytes_read_remote": float(
+                sum(t.shuffle_bytes_read_remote for t in tasks)
+            ),
+            "simulated_makespan": self.job_makespan(),
+        }

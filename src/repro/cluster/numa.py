@@ -1,0 +1,61 @@
+"""NUMA memory-access cost model (paper Fig. 4).
+
+The Fig. 4 experiment pins Spark executors to sockets with ``numactl`` and
+finds that (a) more, smaller executors beat one fat executor and (b) NUMA
+pinning reduces runtime further. The underlying mechanics:
+
+* an executor pinned to one domain makes ~100% local memory accesses;
+* an unpinned executor whose threads and pages interleave across ``d``
+  domains makes ~(d-1)/d of its accesses remote;
+* remote accesses cost ~1.4-1.6x local latency on 2-socket Xeons
+  (the Fig. 4-cited studies on Power8 report similar ratios);
+* a fat executor spanning many cores additionally suffers allocator/GC
+  contention, modeled as a mild per-core contention factor.
+
+:func:`task_time_factor` converts those into a multiplicative penalty on a
+task's measured compute time, given how memory-bound the task is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology, ExecutorSpec
+
+
+@dataclass(frozen=True)
+class NUMAModel:
+    """Parameters of the NUMA penalty model.
+
+    Attributes
+    ----------
+    remote_access_penalty:
+        Latency ratio of remote to local DRAM access.
+    memory_bound_fraction:
+        Fraction of task compute time sensitive to memory placement; joins
+        and index probes are heavily memory-bound (pointer chasing through
+        row batches), so the default is high.
+    contention_per_core:
+        Fractional slowdown added per core beyond the first within a single
+        executor (shared allocator / runtime contention).
+    """
+
+    remote_access_penalty: float = 1.5
+    memory_bound_fraction: float = 0.6
+    contention_per_core: float = 0.015
+
+    def remote_fraction(self, executor: ExecutorSpec, topology: ClusterTopology) -> float:
+        """Expected fraction of memory accesses that hit a remote domain."""
+        machine = next(m for m in topology.machines if m.machine_id == executor.machine_id)
+        domains = len(machine.numa_domains)
+        if domains <= 1 or executor.pinned_domain is not None:
+            return 0.0
+        # Unpinned: pages interleave uniformly across domains.
+        return (domains - 1) / domains
+
+    def task_time_factor(self, executor: ExecutorSpec, topology: ClusterTopology) -> float:
+        """Multiplier applied to a task's measured compute time on this executor."""
+        rf = self.remote_fraction(executor, topology)
+        mem_factor = 1.0 + self.memory_bound_fraction * rf * (self.remote_access_penalty - 1.0)
+        contention = 1.0 + self.contention_per_core * max(0, executor.cores - 1)
+        return mem_factor * contention

@@ -1,0 +1,192 @@
+"""Cluster topology: machines, NUMA domains, executors and core slots.
+
+Deployment questions the paper studies (Fig. 4): how many executors per
+machine, how many cores per executor, and whether executors are pinned to a
+NUMA domain. A :class:`ClusterTopology` captures one such deployment; the
+scheduler asks it for executor slots and the cost models ask it for
+machine/domain relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class NUMADomain:
+    """One socket/NUMA domain of a machine."""
+
+    machine_id: int
+    domain_id: int
+    cores: int
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A worker machine with one or more NUMA domains.
+
+    ``memory_gb`` participates only in documentation/presets; the simulator
+    does not model memory pressure (the paper's datasets always fit in the
+    aggregate cache, Section IV-A).
+    """
+
+    machine_id: int
+    numa_domains: tuple[NUMADomain, ...]
+    memory_gb: int = 64
+
+    @property
+    def cores(self) -> int:
+        return sum(d.cores for d in self.numa_domains)
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """An executor process: lives on a machine, optionally pinned to a domain.
+
+    ``pinned_domain is None`` models an unpinned executor whose threads and
+    memory interleave across sockets — the configuration Fig. 4 shows to be
+    slower than NUMA-pinned fine-grained executors.
+    """
+
+    executor_id: str
+    machine_id: int
+    cores: int
+    pinned_domain: int | None = None
+
+
+@dataclass
+class ClusterTopology:
+    """A concrete deployment: machines plus the executors placed on them."""
+
+    machines: list[Machine]
+    executors: list[ExecutorSpec]
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        by_id = {m.machine_id: m for m in self.machines}
+        for ex in self.executors:
+            if ex.machine_id not in by_id:
+                raise ValueError(f"executor {ex.executor_id} on unknown machine {ex.machine_id}")
+            machine = by_id[ex.machine_id]
+            if ex.pinned_domain is not None and ex.pinned_domain >= len(machine.numa_domains):
+                raise ValueError(
+                    f"executor {ex.executor_id} pinned to missing domain {ex.pinned_domain}"
+                )
+
+    # -- queries used by the scheduler and cost models ----------------------
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(ex.cores for ex in self.executors)
+
+    def executor(self, executor_id: str) -> ExecutorSpec:
+        for ex in self.executors:
+            if ex.executor_id == executor_id:
+                return ex
+        raise KeyError(executor_id)
+
+    def machine_of(self, executor_id: str) -> int:
+        return self.executor(executor_id).machine_id
+
+    def same_machine(self, exec_a: str, exec_b: str) -> bool:
+        return self.machine_of(exec_a) == self.machine_of(exec_b)
+
+    def executor_ids(self) -> list[str]:
+        return [ex.executor_id for ex in self.executors]
+
+    def slots(self) -> Iterator[tuple[str, int]]:
+        """Yield (executor_id, core_index) for every task slot in the cluster."""
+        for ex in self.executors:
+            for core in range(ex.cores):
+                yield ex.executor_id, core
+
+    def without_executor(self, executor_id: str) -> "ClusterTopology":
+        """Topology after an executor failure (Fig. 12)."""
+        return ClusterTopology(
+            machines=self.machines,
+            executors=[ex for ex in self.executors if ex.executor_id != executor_id],
+            name=self.name,
+        )
+
+
+def _dual_socket_machine(machine_id: int, cores_per_socket: int = 8, memory_gb: int = 64) -> Machine:
+    return Machine(
+        machine_id=machine_id,
+        numa_domains=(
+            NUMADomain(machine_id, 0, cores_per_socket),
+            NUMADomain(machine_id, 1, cores_per_socket),
+        ),
+        memory_gb=memory_gb,
+    )
+
+
+def make_executors(
+    machines: list[Machine],
+    executors_per_machine: int,
+    cores_per_executor: int,
+    numa_pinned: bool,
+) -> list[ExecutorSpec]:
+    """Place ``executors_per_machine`` executors on every machine.
+
+    With ``numa_pinned`` the executors are distributed round-robin over the
+    machine's NUMA domains (the paper's best configuration: 4 executors per
+    dual-socket machine, two per domain, 4 cores each).
+    """
+    executors: list[ExecutorSpec] = []
+    for m in machines:
+        for i in range(executors_per_machine):
+            domain = i % len(m.numa_domains) if numa_pinned else None
+            executors.append(
+                ExecutorSpec(
+                    executor_id=f"m{m.machine_id}e{i}",
+                    machine_id=m.machine_id,
+                    cores=cores_per_executor,
+                    pinned_domain=domain,
+                )
+            )
+    return executors
+
+
+def private_cluster(
+    num_machines: int = 4,
+    executors_per_machine: int = 4,
+    cores_per_executor: int = 4,
+    numa_pinned: bool = True,
+) -> ClusterTopology:
+    """Table I private cluster: dual-socket E5-2630-v3, 16 cores, InfiniBand.
+
+    Defaults to the best Fig. 4 deployment (4 pinned executors x 4 cores).
+    """
+    machines = [_dual_socket_machine(i) for i in range(num_machines)]
+    return ClusterTopology(
+        machines=machines,
+        executors=make_executors(machines, executors_per_machine, cores_per_executor, numa_pinned),
+        name=f"private-{num_machines}x16",
+    )
+
+
+def ec2_i3_xlarge(num_machines: int = 4) -> ClusterTopology:
+    """Table I: i3.xlarge — 4 vCPU, 30 GB, 10 Gbps (single NUMA domain)."""
+    machines = [
+        Machine(i, (NUMADomain(i, 0, 4),), memory_gb=30) for i in range(num_machines)
+    ]
+    return ClusterTopology(
+        machines=machines,
+        executors=make_executors(machines, 1, 4, numa_pinned=False),
+        name=f"i3.xlarge-{num_machines}",
+    )
+
+
+def ec2_i3_8xlarge(num_machines: int = 16) -> ClusterTopology:
+    """Table I: i3.8xlarge — 16 vCPU (2 domains), 122 GB, 10 Gbps."""
+    machines = [_dual_socket_machine(i, cores_per_socket=8, memory_gb=122) for i in range(num_machines)]
+    return ClusterTopology(
+        machines=machines,
+        executors=make_executors(machines, 2, 8, numa_pinned=True),
+        name=f"i3.8xlarge-{num_machines}",
+    )

@@ -1,0 +1,79 @@
+"""Global configuration for the engine, SQL layer and the Indexed DataFrame.
+
+Mirrors the knobs the paper exposes (Section III): row batch size (Fig. 5
+sweeps 4 KB .. 128 MB, sweet spot 4 MB), broadcast-join threshold (Spark
+default 10 MB), partitions per core (Spark tuning guide: 1-4), and the
+scheduler's locality wait (delay scheduling).
+
+A :class:`Config` is attached to an :class:`~repro.engine.context.EngineContext`
+and consulted by every layer; tests construct small configs, benchmarks use
+paper-shaped ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass
+class Config:
+    """Engine-wide tunables.
+
+    Attributes
+    ----------
+    default_parallelism:
+        Number of partitions used when an operation does not specify one.
+    row_batch_size:
+        Capacity in bytes of one row batch inside an indexed partition
+        (paper default: 4 MB; Fig. 5 shows the read/write sweet spot there).
+    max_row_size:
+        Upper bound on one encoded row (paper: 1 KB). Enforced by the codec.
+    broadcast_threshold:
+        Estimated size in bytes under which a join side is broadcast rather
+        than shuffled (Spark's ``autoBroadcastJoinThreshold``, 10 MB).
+    shuffle_partitions:
+        Number of reduce-side partitions for shuffles (Spark default 200 is
+        scaled down for simulated clusters).
+    locality_wait:
+        Simulated seconds a task waits for a data-local slot before being
+        launched remotely (delay scheduling).
+    max_task_retries:
+        Attempts per task before the job is failed.
+    partitions_per_core:
+        Rule-of-thumb multiplier when deriving parallelism from a cluster.
+    index_string_keys_as_hash:
+        Hash string keys to 32-bit ints before inserting into the cTrie
+        (Section IV-E: strings are hashed, costing extra vs primitive keys).
+    """
+
+    default_parallelism: int = 8
+    row_batch_size: int = 64 * KB
+    max_row_size: int = KB
+    broadcast_threshold: int = 10 * MB
+    shuffle_partitions: int = 8
+    locality_wait: float = 3.0
+    max_task_retries: int = 4
+    partitions_per_core: int = 2
+    index_string_keys_as_hash: bool = True
+    #: Storage format of indexed partitions: "row" (the paper's prototype,
+    #: binary row batches) or "columnar" (footnote 2's alternative).
+    index_storage_format: str = "row"
+    #: Rows per column chunk when index_storage_format == "columnar".
+    columnar_chunk_rows: int = 4096
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def with_overrides(self, **kwargs: Any) -> "Config":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up an ad-hoc setting from :attr:`extra`."""
+        return self.extra.get(key, default)
+
+
+#: Paper-shaped defaults: 4 MB batches, as used in all evaluation sections.
+PAPER_DEFAULTS = Config(row_batch_size=4 * MB)

@@ -1,0 +1,19 @@
+"""Concurrent hash trie (cTrie) with constant-time, lock-free snapshots.
+
+This is a faithful Python port of the CTrie of Prokopec, Bronson, Bagwell and
+Odersky ("Concurrent Tries with Efficient Non-Blocking Snapshots", PPoPP'12),
+the index structure the Indexed DataFrame stores per partition (paper
+Section III-C). The properties the paper relies on are:
+
+* thread-safe insert / lookup / remove,
+* ``snapshot()`` in O(1): the new trie shares all nodes with the parent and
+  copies paths lazily on subsequent writes (generation stamps),
+* ``read_only_snapshot()`` for consistent scans while writers proceed.
+
+CAS is emulated with :class:`repro.utils.atomic.AtomicReference` (see that
+module for why this preserves the algorithm's correctness).
+"""
+
+from repro.ctrie.ctrie import CTrie
+
+__all__ = ["CTrie"]

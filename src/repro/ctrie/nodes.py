@@ -1,0 +1,255 @@
+"""Node types of the concurrent hash trie.
+
+The structure mirrors the PPoPP'12 paper and the Scala reference
+implementation (``scala.collection.concurrent.TrieMap``):
+
+* :class:`INode` — indirection node; the only mutable cell (its ``main``
+  reference is updated with GCAS). Stamped with a :class:`Gen` so snapshots
+  can tell which parts of the trie they still share with ancestors.
+* :class:`CNode` — branch node: a 32-bit bitmap plus a dense array of
+  branches (each an :class:`INode` or :class:`SNode`). 5 hash bits are
+  consumed per level.
+* :class:`SNode` — singleton leaf holding (key, hash, value).
+* :class:`TNode` — tombed singleton, produced when a removal leaves a
+  single-entry CNode; cleaned up by path compression.
+* :class:`LNode` — persistent list node for full 32-bit hash collisions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.utils.atomic import AtomicReference
+
+W = 5  # hash bits consumed per trie level
+HASH_BITS = 32
+
+
+class Gen:
+    """Generation token: identity marks which snapshot an INode belongs to."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gen@{id(self):x}"
+
+
+class MainNode:
+    """Base class for nodes an INode can point at (CNode, TNode, LNode).
+
+    ``prev`` is the GCAS bookkeeping field: while a GCAS is in flight it
+    points at the node being replaced (or a :class:`FailedNode`); committed
+    nodes have ``prev is None``.
+    """
+
+    __slots__ = ("prev",)
+
+    def __init__(self) -> None:
+        self.prev: AtomicReference[Any] = AtomicReference(None)
+
+
+class FailedNode(MainNode):
+    """Marks an aborted GCAS; ``prev`` holds the node to roll back to."""
+
+    __slots__ = ()
+
+    def __init__(self, prev: MainNode) -> None:
+        super().__init__()
+        self.prev.set(prev)
+
+
+class SNode:
+    """Immutable leaf: (key, value) with the key's 32-bit hash cached."""
+
+    __slots__ = ("hash", "key", "value")
+
+    def __init__(self, key: Any, value: Any, hash_: int) -> None:
+        self.key = key
+        self.value = value
+        self.hash = hash_
+
+    def copy_tombed(self) -> "TNode":
+        return TNode(self.key, self.value, self.hash)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SNode({self.key!r}={self.value!r})"
+
+
+class TNode(MainNode):
+    """Tombed leaf awaiting path compression."""
+
+    __slots__ = ("hash", "key", "value")
+
+    def __init__(self, key: Any, value: Any, hash_: int) -> None:
+        super().__init__()
+        self.key = key
+        self.value = value
+        self.hash = hash_
+
+    def copy_untombed(self) -> SNode:
+        return SNode(self.key, self.value, self.hash)
+
+
+class LNode(MainNode):
+    """Persistent association list for keys whose 32-bit hashes fully collide."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: tuple[tuple[Any, Any], ...]) -> None:
+        super().__init__()
+        self.entries = entries
+
+    def get(self, key: Any) -> Any:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        return _NO_VALUE
+
+    def inserted(self, key: Any, value: Any) -> "LNode":
+        kept = tuple((k, v) for k, v in self.entries if k != key)
+        return LNode(kept + ((key, value),))
+
+    def removed(self, key: Any) -> "LNode":
+        return LNode(tuple((k, v) for k, v in self.entries if k != key))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class CNode(MainNode):
+    """Branch: 32-bit ``bitmap`` with one dense ``array`` slot per set bit."""
+
+    __slots__ = ("array", "bitmap")
+
+    def __init__(self, bitmap: int, array: tuple, gen: Gen | None = None) -> None:
+        super().__init__()
+        self.bitmap = bitmap
+        self.array = array
+
+    # -- pure functional updates -------------------------------------------------
+
+    def updated_at(self, pos: int, node: Any) -> "CNode":
+        arr = self.array
+        return CNode(self.bitmap, arr[:pos] + (node,) + arr[pos + 1 :])
+
+    def inserted_at(self, pos: int, flag: int, node: Any) -> "CNode":
+        arr = self.array
+        return CNode(self.bitmap | flag, arr[:pos] + (node,) + arr[pos:])
+
+    def removed_at(self, pos: int, flag: int) -> "CNode":
+        arr = self.array
+        return CNode(self.bitmap ^ flag, arr[:pos] + arr[pos + 1 :])
+
+    def renewed(self, gen: Gen, ctrie: Any) -> "CNode":
+        """Copy this CNode with all child INodes re-stamped to ``gen``.
+
+        This is the lazy part of snapshotting: a writer that descends into a
+        shared subtree first renews the CNodes on its path, giving the new
+        generation private INodes while leaves stay shared.
+        """
+        new_array = tuple(
+            branch.copy_to_gen(gen, ctrie) if isinstance(branch, INode) else branch
+            for branch in self.array
+        )
+        return CNode(self.bitmap, new_array)
+
+    @staticmethod
+    def dual(x: SNode, xhash: int, y: SNode, yhash: int, lev: int, gen: Gen) -> MainNode:
+        """Build the subtree distinguishing two colliding leaves below level ``lev``."""
+        if lev >= HASH_BITS:
+            return LNode(((x.key, x.value), (y.key, y.value)))
+        xidx = (xhash >> lev) & 0x1F
+        yidx = (yhash >> lev) & 0x1F
+        bmp = (1 << xidx) | (1 << yidx)
+        if xidx == yidx:
+            sub = INode(CNode.dual(x, xhash, y, yhash, lev + W, gen), gen)
+            return CNode(bmp, (sub,))
+        if xidx < yidx:
+            return CNode(bmp, (x, y))
+        return CNode(bmp, (y, x))
+
+
+class INode:
+    """Indirection node; its ``main`` reference is the CAS target of all updates."""
+
+    __slots__ = ("gen", "main")
+
+    def __init__(self, main: MainNode | None, gen: Gen) -> None:
+        self.main: AtomicReference[MainNode] = AtomicReference(main)
+        self.gen = gen
+
+    # -- GCAS protocol -------------------------------------------------------
+
+    def gcas_read(self, ctrie: Any) -> MainNode:
+        """Read ``main``, completing any in-flight GCAS first."""
+        m = self.main.get()
+        assert m is not None
+        if m.prev.get() is None:
+            return m
+        return self._gcas_commit(m, ctrie)
+
+    def _gcas_commit(self, m: MainNode, ctrie: Any) -> MainNode:
+        prev = m.prev.get()
+        root = ctrie.rdcss_read_root(abort=True)
+        if prev is None:
+            return m
+        if isinstance(prev, FailedNode):
+            # The GCAS failed: roll main back to the node before it.
+            rollback = prev.prev.get()
+            if self.main.compare_and_set(m, rollback):
+                return rollback
+            return self._gcas_commit(self.main.get(), ctrie)
+        # In-flight GCAS: commit if our generation is still current, abort otherwise.
+        if root.gen is self.gen and not ctrie.read_only:
+            if m.prev.compare_and_set(prev, None):
+                return m
+            return self._gcas_commit(m, ctrie)
+        m.prev.compare_and_set(prev, FailedNode(prev))
+        return self._gcas_commit(self.main.get(), ctrie)
+
+    def gcas(self, old: MainNode, new: MainNode, ctrie: Any) -> bool:
+        """Generation-compare-and-swap ``main`` from ``old`` to ``new``."""
+        new.prev.set(old)
+        if self.main.compare_and_set(old, new):
+            self._gcas_commit(new, ctrie)
+            return new.prev.get() is None
+        return False
+
+    def copy_to_gen(self, gen: Gen, ctrie: Any) -> "INode":
+        """Fresh INode in generation ``gen`` pointing at the same main node."""
+        return INode(self.gcas_read(ctrie), gen)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"INode(gen={self.gen!r})"
+
+
+class _NoValue:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<no-value>"
+
+
+#: Sentinel distinguishing "key absent" from "key mapped to None".
+_NO_VALUE = _NoValue()
+
+
+def iterate_main(main: MainNode | SNode | None, ctrie: Any) -> Iterator[tuple[Any, Any]]:
+    """Depth-first iteration over all (key, value) pairs under a main node."""
+    if main is None:
+        return
+    stack: list[Any] = [main]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SNode):
+            yield node.key, node.value
+        elif isinstance(node, TNode):
+            yield node.key, node.value
+        elif isinstance(node, LNode):
+            yield from node.entries
+        elif isinstance(node, CNode):
+            stack.extend(node.array)
+        elif isinstance(node, INode):
+            stack.append(node.gcas_read(ctrie))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected node {node!r}")

@@ -1,0 +1,28 @@
+"""A from-scratch distributed data-processing engine (the Spark-core analogue).
+
+The Indexed DataFrame is an extension library over Spark; to reproduce it
+without Spark we implement the same architecture:
+
+* :class:`~repro.engine.rdd.RDD` — immutable partitioned collections with
+  lineage (narrow vs shuffle dependencies) and optional caching,
+* :class:`~repro.engine.shuffle.ShuffleManager` — map-output registry and
+  reduce-side fetch with local/remote byte accounting,
+* :class:`~repro.engine.dag.DAGScheduler` — splits jobs into stages at
+  shuffle boundaries; already-computed shuffle stages are skipped (this is
+  what makes cached/indexed data amortize),
+* :class:`~repro.engine.scheduler.TaskScheduler` — locality-aware task
+  placement with delay scheduling, retries, and failure recovery via
+  lineage recomputation,
+* :class:`~repro.engine.block_manager.BlockManager` — per-executor cache
+  whose contents are lost when the executor fails (Fig. 12),
+* :class:`~repro.engine.context.EngineContext` — the ``SparkContext``.
+
+Tasks execute for real, in-process; the cluster/network/NUMA models in
+:mod:`repro.cluster` convert measurements into simulated cluster time.
+"""
+
+from repro.engine.context import EngineContext
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.rdd import RDD
+
+__all__ = ["EngineContext", "HashPartitioner", "Partitioner", "RDD", "RangePartitioner"]

@@ -1,0 +1,144 @@
+"""Block managers: per-executor in-memory caches plus the master registry.
+
+Cached RDD partitions (including Indexed Batch RDD partitions — the cTrie,
+row batches and back-pointers of Section III-C) live in the block manager
+of the executor that computed them. The master tracks locations for
+locality-aware scheduling; killing an executor (Fig. 12) removes its blocks
+and forces lineage recomputation on next access.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.engine.partition import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import EngineContext
+    from repro.engine.rdd import RDD
+
+BlockId = tuple[int, int]  # (rdd_id, partition_index)
+
+
+class BlockManager:
+    """One executor's block store."""
+
+    def __init__(self, executor_id: str) -> None:
+        self.executor_id = executor_id
+        self._blocks: dict[BlockId, Any] = {}
+        self._lock = threading.Lock()
+
+    def put(self, block_id: BlockId, value: Any) -> None:
+        with self._lock:
+            self._blocks[block_id] = value
+
+    def get(self, block_id: BlockId) -> Any | None:
+        with self._lock:
+            return self._blocks.get(block_id)
+
+    def contains(self, block_id: BlockId) -> bool:
+        with self._lock:
+            return block_id in self._blocks
+
+    def remove(self, block_id: BlockId) -> None:
+        with self._lock:
+            self._blocks.pop(block_id, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+
+    def block_ids(self) -> list[BlockId]:
+        with self._lock:
+            return list(self._blocks)
+
+
+class BlockManagerMaster:
+    """Driver-side registry: block id -> executors holding it."""
+
+    def __init__(self) -> None:
+        self._locations: dict[BlockId, list[str]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, block_id: BlockId, executor_id: str) -> None:
+        with self._lock:
+            locs = self._locations.setdefault(block_id, [])
+            if executor_id not in locs:
+                locs.append(executor_id)
+
+    def locations(self, block_id: BlockId) -> list[str]:
+        with self._lock:
+            return list(self._locations.get(block_id, ()))
+
+    def remove_executor(self, executor_id: str) -> list[BlockId]:
+        """Forget all blocks held (only) by a dead executor; return those lost."""
+        lost: list[BlockId] = []
+        with self._lock:
+            for block_id, locs in list(self._locations.items()):
+                if executor_id in locs:
+                    locs.remove(executor_id)
+                    if not locs:
+                        lost.append(block_id)
+                        del self._locations[block_id]
+        return lost
+
+    def remove_rdd_block(self, block_id: BlockId) -> None:
+        with self._lock:
+            self._locations.pop(block_id, None)
+
+    def remove_rdd(self, rdd_id: int) -> None:
+        with self._lock:
+            for block_id in [b for b in self._locations if b[0] == rdd_id]:
+                del self._locations[block_id]
+
+
+class CacheManager:
+    """Cache-aware partition access: get the block or compute-and-store it.
+
+    This is the recomputation entry point of the fault-tolerance design: a
+    lost cached partition simply misses here and is rebuilt from lineage
+    (`rdd.compute`), then re-registered at its new executor.
+    """
+
+    def __init__(self, context: "EngineContext") -> None:
+        self._context = context
+        # Per-block locks so concurrent tasks don't compute a partition twice.
+        self._compute_locks: dict[BlockId, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    def _lock_for(self, block_id: BlockId) -> threading.Lock:
+        with self._guard:
+            return self._compute_locks.setdefault(block_id, threading.Lock())
+
+    def get_or_compute(self, rdd: "RDD", split: int, ctx: TaskContext) -> Iterator[Any]:
+        block_id: BlockId = (rdd.rdd_id, split)
+        ctxm = self._context
+        with self._lock_for(block_id):
+            # 1. Local hit.
+            local = ctxm.executor_runtime(ctx.executor_id).block_manager
+            value = local.get(block_id)
+            if value is not None:
+                return iter(value)
+            # 2. Remote hit: fetch from another live executor (accounted).
+            for executor_id in ctxm.block_manager_master.locations(block_id):
+                runtime = ctxm.executor_runtime(executor_id, allow_dead=True)
+                if runtime is None or not runtime.alive:
+                    continue
+                value = runtime.block_manager.get(block_id)
+                if value is not None:
+                    nbytes = getattr(value, "nbytes", None)
+                    if nbytes is None:
+                        from repro.engine.shuffle import estimate_size
+
+                        nbytes = estimate_size(value if isinstance(value, list) else [value])
+                    if ctxm.topology.same_machine(executor_id, ctx.executor_id):
+                        ctx.shuffle_bytes_read_local += nbytes
+                    else:
+                        ctx.shuffle_bytes_read_remote += nbytes
+                    return iter(value)
+            # 3. Miss: compute from lineage, store locally, register.
+            materialized = list(rdd.compute(split, ctx))
+            local.put(block_id, materialized)
+            ctxm.block_manager_master.register(block_id, ctx.executor_id)
+            return iter(materialized)

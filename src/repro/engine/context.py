@@ -1,0 +1,143 @@
+"""EngineContext: the driver (``SparkContext`` analogue).
+
+Wires together the simulated cluster (topology + cost models + faults) and
+the runtime (executors, shuffle manager, block managers, DAG/task
+schedulers), and exposes the entry points ``parallelize`` / ``run_job``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.cluster.faults import FaultInjector
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.network import NetworkModel
+from repro.cluster.numa import NUMAModel
+from repro.cluster.topology import ClusterTopology, private_cluster
+from repro.config import Config
+from repro.engine.block_manager import BlockManagerMaster, CacheManager
+from repro.engine.dag import DAGScheduler
+from repro.engine.executor import ExecutorRuntime
+from repro.engine.partition import TaskContext
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import TaskScheduler
+from repro.engine.shuffle import ShuffleManager
+
+
+class EngineContext:
+    """Driver for one simulated cluster application.
+
+    Parameters
+    ----------
+    config:
+        Engine tunables; ``Config()`` defaults suit tests.
+    topology:
+        Cluster deployment; defaults to the paper's best private-cluster
+        configuration (Fig. 4: 4 machines x 4 pinned executors x 4 cores).
+    network / numa:
+        Cost models feeding the simulated makespan.
+    """
+
+    def __init__(
+        self,
+        config: Config | None = None,
+        topology: ClusterTopology | None = None,
+        network: NetworkModel | None = None,
+        numa: NUMAModel | None = None,
+    ) -> None:
+        self.config = config or Config()
+        self.topology = topology or private_cluster()
+        self.network = network or NetworkModel()
+        self.numa = numa or NUMAModel()
+        self.metrics = MetricsCollector(self.topology, self.network, self.numa)
+        self.faults = FaultInjector()
+        self.executors: dict[str, ExecutorRuntime] = {
+            spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
+        }
+        self.shuffle_manager = ShuffleManager(self)
+        self.block_manager_master = BlockManagerMaster()
+        self.cache_manager = CacheManager(self)
+        self.dag_scheduler = DAGScheduler(self)
+        self.task_scheduler = TaskScheduler(self)
+        self._rdd_id = 0
+        self._job_index = 0
+        self._lock = threading.Lock()
+
+    # -- ids -------------------------------------------------------------------------
+
+    def new_rdd_id(self) -> int:
+        with self._lock:
+            self._rdd_id += 1
+            return self._rdd_id
+
+    @property
+    def job_index(self) -> int:
+        return self._job_index
+
+    # -- executor management ----------------------------------------------------------
+
+    def executor_runtime(self, executor_id: str, allow_dead: bool = False) -> ExecutorRuntime:
+        runtime = self.executors.get(executor_id)
+        if runtime is None:
+            if allow_dead:
+                return None  # type: ignore[return-value]
+            raise KeyError(executor_id)
+        if not runtime.alive and not allow_dead:
+            raise RuntimeError(f"executor {executor_id} is dead")
+        return runtime
+
+    def alive_executor_ids(self) -> list[str]:
+        return [r.executor_id for r in self.executors.values() if r.alive]
+
+    def kill_executor(self, executor_id: str) -> None:
+        """Simulate executor loss: blocks and map outputs disappear (Fig. 12)."""
+        runtime = self.executors[executor_id]
+        runtime.kill()
+        self.block_manager_master.remove_executor(executor_id)
+        self.shuffle_manager.on_executor_lost(executor_id)
+
+    def invalidate_block(self, block_id: tuple[int, int]) -> None:
+        """Drop a cached block everywhere (e.g. a *stale* indexed partition
+        whose version number no longer matches — Section III-D)."""
+        for runtime in self.executors.values():
+            runtime.block_manager.remove(block_id)
+        self.block_manager_master.remove_rdd_block(block_id)
+
+    def restart_executor(self, executor_id: str) -> None:
+        """Bring a previously killed executor back (empty caches)."""
+        spec = self.topology.executor(executor_id)
+        self.executors[executor_id] = ExecutorRuntime(self, spec)
+
+    # -- job entry points ---------------------------------------------------------------
+
+    def parallelize(self, data: list[Any], num_partitions: int | None = None) -> RDD:
+        n = num_partitions or self.config.default_parallelism
+        return ParallelCollectionRDD(self, list(data), n)
+
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator[Any], TaskContext], Any],
+        partitions: list[int] | None = None,
+    ) -> list[Any]:
+        with self._lock:
+            self._job_index += 1
+            job = self._job_index
+        # Fault injection happens at job boundaries ("kill executor during
+        # the run of query N"), matching the paper's manual kill.
+        for victim in self.faults.check(job):
+            if victim in self.executors and self.executors[victim].alive:
+                self.kill_executor(victim)
+        return self.dag_scheduler.run_job(rdd, func, partitions, job_index=job)
+
+    # -- convenience ----------------------------------------------------------------------
+
+    def default_partitioner_partitions(self) -> int:
+        return self.config.shuffle_partitions
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EngineContext(topology={self.topology.name}, "
+            f"executors={len(self.executors)}, cores={self.topology.total_cores})"
+        )

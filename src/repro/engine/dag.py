@@ -1,0 +1,122 @@
+"""DAG scheduler: jobs -> stages at shuffle boundaries, with recovery.
+
+Two behaviours here carry the paper's story:
+
+* **Shuffle reuse / amortization.** A ShuffleMapStage whose outputs are all
+  present is *skipped*. Creating an index shuffles once; afterwards every
+  query over the indexed (cached) data runs only its own narrow stages.
+  Vanilla repeated joins re-shuffle/probe each time (Fig. 1).
+* **Lineage recovery.** A FetchFailedError (map output lost with its
+  executor) marks the output missing and resubmits the parent stage for
+  exactly the missing partitions, then retries the job — Section III-D /
+  Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.partition import TaskContext
+from repro.engine.shuffle import FetchFailedError
+from repro.engine.task import ResultStage, ShuffleMapStage, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import EngineContext
+    from repro.engine.rdd import RDD
+
+
+class JobFailedError(Exception):
+    """A job could not complete within the allowed stage retries."""
+
+
+class DAGScheduler:
+    def __init__(self, context: "EngineContext") -> None:
+        self.context = context
+        self._next_stage_id = 0
+        #: shuffle_id -> its map stage; persists across jobs for reuse.
+        self._shuffle_stages: dict[int, ShuffleMapStage] = {}
+        self.max_stage_attempts = 8
+
+    # -- stage construction ---------------------------------------------------------
+
+    def _new_stage_id(self) -> int:
+        sid = self._next_stage_id
+        self._next_stage_id += 1
+        return sid
+
+    def _parent_shuffle_deps(self, rdd: "RDD") -> list[ShuffleDependency]:
+        """Shuffle dependencies reachable from ``rdd`` without crossing one."""
+        parents: list[ShuffleDependency] = []
+        visited: set[int] = set()
+        stack: list["RDD"] = [rdd]
+        while stack:
+            r = stack.pop()
+            if r.rdd_id in visited:
+                continue
+            visited.add(r.rdd_id)
+            for dep in r.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    parents.append(dep)
+                else:
+                    stack.append(dep.rdd)
+        return parents
+
+    def _shuffle_stage_for(self, dep: ShuffleDependency) -> ShuffleMapStage:
+        stage = self._shuffle_stages.get(dep.shuffle_id)
+        if stage is None:
+            stage = ShuffleMapStage(
+                stage_id=self._new_stage_id(),
+                rdd=dep.rdd,
+                parents=self._parent_shuffle_deps(dep.rdd),
+                dep=dep,
+            )
+            self._shuffle_stages[dep.shuffle_id] = stage
+            self.context.shuffle_manager.register_shuffle(
+                dep.shuffle_id, dep.rdd.num_partitions
+            )
+        return stage
+
+    # -- job execution ---------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[Iterator[Any], TaskContext], Any],
+        partitions: list[int] | None = None,
+        job_index: int = 0,
+    ) -> list[Any]:
+        if partitions is None:
+            partitions = list(range(rdd.num_partitions))
+        final = ResultStage(
+            stage_id=self._new_stage_id(),
+            rdd=rdd,
+            parents=self._parent_shuffle_deps(rdd),
+            func=func,
+        )
+        for attempt in range(self.max_stage_attempts):
+            try:
+                self._ensure_parents(final, job_index)
+                return self.context.task_scheduler.run_stage(final, partitions, job_index)
+            except FetchFailedError as failure:
+                # Lost map output: invalidate and retry (parents recomputed).
+                self._handle_fetch_failure(failure)
+        raise JobFailedError(f"job failed after {self.max_stage_attempts} stage attempts")
+
+    def _ensure_parents(self, stage: Stage, job_index: int) -> None:
+        """Depth-first: compute every ancestor shuffle whose outputs are missing."""
+        sm = self.context.shuffle_manager
+        for dep in stage.parents:
+            map_stage = self._shuffle_stage_for(dep)
+            missing = sm.missing_maps(dep.shuffle_id)
+            if not missing:
+                continue  # amortized: outputs already materialized
+            self._ensure_parents(map_stage, job_index)
+            self.context.task_scheduler.run_stage(map_stage, missing, job_index)
+
+    def _handle_fetch_failure(self, failure: FetchFailedError) -> None:
+        sm = self.context.shuffle_manager
+        if failure.map_id >= 0 and sm.is_registered(failure.shuffle_id):
+            # The slot is already None (executor loss cleared it); nothing
+            # else to do: the retry recomputes missing maps via _ensure_parents.
+            return

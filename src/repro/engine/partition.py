@@ -1,0 +1,36 @@
+"""Partition handles and task-side context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A handle naming one partition of one RDD (no data, just identity)."""
+
+    rdd_id: int
+    index: int
+
+
+@dataclass
+class TaskContext:
+    """Per-task runtime context handed to ``RDD.compute``.
+
+    Carries identity (stage/partition/attempt), the executor the task runs
+    on, and the metrics sink tasks write into (compute phases, shuffle byte
+    counts).
+    """
+
+    stage_id: int
+    partition_index: int
+    attempt: int
+    executor_id: str
+    job_index: int = 0
+    phases: dict[str, float] = field(default_factory=dict)
+    shuffle_bytes_read_local: int = 0
+    shuffle_bytes_read_remote: int = 0
+    shuffle_bytes_written: int = 0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds

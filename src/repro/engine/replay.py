@@ -1,0 +1,57 @@
+"""Replayable append source (the Kafka/HDFS analogue of Section III-D).
+
+Lineage can replay any *deterministic* transformation, but an ``append``
+brings in new external data; the paper requires appends to come from a
+replayable source so that re-creating a lost indexed partition can re-apply
+them. :class:`ReplayLog` is that source: it durably (driver-side) retains
+every appended batch as an :class:`AppendRecord`.
+
+Because appends are MVCC-versioned *per branch* (Listing 2: two divergent
+children of one parent both carry version ``parent+1``), records are keyed
+by a monotonically increasing **record id**, not by version; each versioned
+RDD holds the record id(s) that produced it, and recomputation fetches the
+rows back by id.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class AppendRecord:
+    """One appended batch: its log id, the version it created, and the rows."""
+
+    record_id: int
+    version: int
+    rows: tuple
+
+
+class ReplayLog:
+    """Ordered, replayable log of appended row batches."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[AppendRecord] = []
+
+    def append(self, version: int, rows: Iterable[tuple]) -> AppendRecord:
+        with self._lock:
+            rec = AppendRecord(
+                record_id=len(self._records), version=version, rows=tuple(rows)
+            )
+            self._records.append(rec)
+            return rec
+
+    def get(self, record_id: int) -> AppendRecord:
+        with self._lock:
+            return self._records[record_id]
+
+    def records(self) -> list[AppendRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

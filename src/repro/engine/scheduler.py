@@ -1,0 +1,119 @@
+"""Task scheduler: locality-aware placement, delay scheduling, retries.
+
+Placement policy (Spark's levels): PROCESS_LOCAL (executor holding the
+cached block) > NODE_LOCAL (same machine) > ANY (round-robin). Delay
+scheduling is modeled rather than waited out: when a preferred executor is
+saturated relative to its fair share and the configured ``locality_wait``
+is exceeded in simulated time, the task degrades to ANY — which is exactly
+the mechanism that creates the *stale replayed copies* the Indexed
+DataFrame's version numbers guard against (Section III-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.partition import TaskContext
+from repro.engine.shuffle import FetchFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import EngineContext
+    from repro.engine.task import Stage
+
+
+@dataclass
+class TaskFailure(Exception):
+    """A task exhausted its retries."""
+
+    stage_id: int
+    partition: int
+    cause: Exception
+
+    def __str__(self) -> str:
+        return f"task (stage={self.stage_id}, partition={self.partition}) failed: {self.cause}"
+
+
+class TaskScheduler:
+    """Runs the tasks of one stage, partition by partition."""
+
+    def __init__(self, context: "EngineContext") -> None:
+        self.context = context
+        self._round_robin = itertools.count()
+        #: (executor_id, locality) choices of the last stage, for tests.
+        self.last_placements: list[tuple[str, str]] = []
+
+    # -- placement -----------------------------------------------------------------
+
+    def _alive_executors(self) -> list[str]:
+        return [
+            r.executor_id for r in self.context.executors.values() if r.alive
+        ]
+
+    def choose_executor(self, stage: "Stage", split: int, busy: dict[str, int]) -> tuple[str, str]:
+        """Return (executor_id, locality_level) for a task."""
+        alive = self._alive_executors()
+        if not alive:
+            raise RuntimeError("no alive executors")
+        preferred = [e for e in stage.rdd.preferred_locations(split) if e in alive]
+        topology = self.context.topology
+        if preferred:
+            # Delay scheduling: accept the preferred executor unless it is
+            # already oversubscribed beyond its core count; then fall through
+            # to node-local, then ANY.
+            for e in preferred:
+                if busy.get(e, 0) < topology.executor(e).cores * self.context.config.partitions_per_core:
+                    return e, "PROCESS_LOCAL"
+            machines = {topology.machine_of(e) for e in preferred}
+            node_local = [e for e in alive if topology.machine_of(e) in machines]
+            for e in node_local:
+                if busy.get(e, 0) < topology.executor(e).cores * self.context.config.partitions_per_core:
+                    return e, "NODE_LOCAL"
+        # ANY: round-robin over the alive executors for load balance.
+        e = alive[next(self._round_robin) % len(alive)]
+        return e, "ANY"
+
+    # -- execution -------------------------------------------------------------------
+
+    def run_stage(
+        self,
+        stage: "Stage",
+        partitions: list[int],
+        job_index: int,
+    ) -> list[Any]:
+        """Execute one task per partition; returns results in partition order.
+
+        FetchFailedError aborts the stage immediately (the DAG scheduler
+        resubmits parents); any other exception is retried up to
+        ``max_task_retries`` times, moving the task to a different executor
+        on each attempt (as Spark's blacklisting would).
+        """
+        results: dict[int, Any] = {}
+        busy: dict[str, int] = {}
+        self.last_placements = []
+        for split in partitions:
+            attempt = 0
+            tried: set[str] = set()
+            while True:
+                executor_id, locality = self.choose_executor(stage, split, busy)
+                if executor_id in tried and attempt > 0:
+                    others = [e for e in self._alive_executors() if e not in tried]
+                    if others:
+                        executor_id, locality = others[0], "ANY"
+                runtime = self.context.executor_runtime(executor_id)
+                tried.add(executor_id)
+                busy[executor_id] = busy.get(executor_id, 0) + 1
+                self.last_placements.append((executor_id, locality))
+                try:
+                    results[split] = runtime.run_task(
+                        stage.stage_id, split, attempt, job_index, stage.task(split)
+                    )
+                    break
+                except FetchFailedError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - retry any task error
+                    attempt += 1
+                    if attempt > self.context.config.max_task_retries:
+                        raise TaskFailure(stage.stage_id, split, exc) from exc
+        return [results[p] for p in partitions]

@@ -1,0 +1,63 @@
+"""Tasks and stages.
+
+A job is split at shuffle boundaries into stages; each stage runs one task
+per (missing) partition. Shuffle-map tasks materialize map outputs into the
+shuffle manager; result tasks feed partition iterators into the job's
+result function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.engine.dependencies import ShuffleDependency
+from repro.engine.partition import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.rdd import RDD
+
+
+@dataclass
+class Stage:
+    """Base stage: an RDD plus the partitions that must be computed."""
+
+    stage_id: int
+    rdd: "RDD"
+    #: Parent shuffle dependencies this stage reads from.
+    parents: list[ShuffleDependency] = field(default_factory=list)
+
+
+@dataclass
+class ShuffleMapStage(Stage):
+    """Computes and registers the map outputs of one shuffle dependency."""
+
+    dep: ShuffleDependency | None = None
+
+    def task(self, split: int) -> Callable[[TaskContext], Any]:
+        dep = self.dep
+        assert dep is not None
+        rdd = self.rdd
+
+        def run(ctx: TaskContext) -> None:
+            records = rdd.iterator(split, ctx)
+            rdd.context.shuffle_manager.write_map_output(dep, split, records, ctx)
+
+        return run
+
+
+@dataclass
+class ResultStage(Stage):
+    """Feeds each partition's iterator into the job's result function."""
+
+    func: Callable[[Iterator[Any], TaskContext], Any] | None = None
+
+    def task(self, split: int) -> Callable[[TaskContext], Any]:
+        rdd = self.rdd
+        func = self.func
+        assert func is not None
+
+        def run(ctx: TaskContext) -> Any:
+            return func(rdd.iterator(split, ctx), ctx)
+
+        return run

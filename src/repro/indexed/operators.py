@@ -1,0 +1,217 @@
+"""Physical operators over indexed data (the "indexed execution" of Fig. 2).
+
+* :class:`IndexedScanExec` — full scan that decodes rows from the binary
+  batches (the fallback path; row-wise, hence slower than the columnar
+  baseline on projections — Fig. 8).
+* :class:`IndexedLookupExec` — point lookup(s) scheduled *only* on the
+  owning partition(s).
+* :class:`IndexedJoinExec` — the indexed join: the index is always the
+  build side ("it is actually pre-built"); the probe side is shuffled to
+  the index's partitions, or broadcast when small (Section III-C).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.engine.rdd import RDD, PrunedRDD
+from repro.engine.shuffle import estimate_size
+from repro.sql.expressions import Expression
+from repro.sql.joins import make_key_func
+from repro.sql.physical import PhysicalPlan, estimate_row_bytes
+from repro.sql.types import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.indexed.indexed_dataframe import IndexedDataFrame
+    from repro.sql.session import Session
+
+
+class IndexedScanExec(PhysicalPlan):
+    """Full scan: walk every partition's cTrie and decode all rows."""
+
+    def __init__(self, session: "Session", idf: "IndexedDataFrame") -> None:
+        super().__init__(session, idf.schema)
+        self.idf = idf
+
+    def execute(self) -> RDD:
+        def scan(parts: Iterator[Any], ctx: Any) -> Iterator[tuple]:
+            t0 = time.perf_counter()
+            rows = list(next(iter(parts)).iter_rows())
+            ctx.add_phase("indexed_scan", time.perf_counter() - t0)
+            return iter(rows)
+
+        return self.idf.rdd.map_partitions_with_context(scan, preserves_partitioning=True)
+
+    def estimated_rows(self) -> int:
+        # Count is cheap (partition metadata), but avoid jobs during planning.
+        return max(1, self.session.context.config.get("indexed_row_estimate", 1_000_000))
+
+    def __repr__(self) -> str:
+        return f"IndexedScan({self.idf.name})"
+
+
+class IndexedLookupExec(PhysicalPlan):
+    """Point lookup(s): prune to owning partitions, search cTrie, walk chain."""
+
+    def __init__(self, session: "Session", idf: "IndexedDataFrame", keys: list[Any]) -> None:
+        super().__init__(session, idf.schema)
+        self.idf = idf
+        self.keys = keys
+
+    def execute(self) -> RDD:
+        idf = self.idf
+        by_split: dict[int, list[Any]] = {}
+        for key in self.keys:
+            by_split.setdefault(idf.rdd.partition_for_key(key), []).append(key)
+        splits = sorted(by_split)
+        pruned = PrunedRDD(idf.rdd, splits)
+
+        def lookup(split: int, parts: Iterator[Any]) -> Iterator[tuple]:
+            part = next(iter(parts))
+            for key in by_split[splits[split]]:
+                yield from part.lookup(key)
+
+        return pruned.map_partitions_with_index(lookup)
+
+    def estimated_rows(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:
+        return f"IndexedLookup({self.idf.name}, keys={self.keys!r})"
+
+
+class IndexedJoinExec(PhysicalPlan):
+    """Join where the indexed relation is the pre-built build side.
+
+    The probe (non-indexed) side is shuffled according to the index's hash
+    partitioning and probed locally against each partition's cTrie; if the
+    probe side is small enough it is broadcast instead (the paper's
+    fallback). Output column order follows the logical Join (left ++ right),
+    controlled by ``indexed_on_left``.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        idf: "IndexedDataFrame",
+        probe: PhysicalPlan,
+        probe_keys: list[Expression],
+        indexed_on_left: bool,
+        schema: Schema,
+        how: str = "inner",
+        residual: Expression | None = None,
+    ) -> None:
+        super().__init__(session, schema)
+        self.idf = idf
+        self.probe = probe
+        self.probe_keys = probe_keys
+        self.indexed_on_left = indexed_on_left
+        self.how = how
+        self.residual = residual
+        if how == "left" and indexed_on_left:
+            raise ValueError("left outer join preserves the probe side; index must be on the right")
+
+    def children(self) -> list[PhysicalPlan]:
+        return [self.probe]
+
+    def execute(self) -> RDD:
+        session = self.session
+        idf = self.idf
+        probe_key = make_key_func(self.probe_keys)
+        indexed_on_left = self.indexed_on_left
+        residual = self.residual
+        how = self.how
+        null_indexed = (None,) * len(idf.schema)
+
+        def probe_partition(parts: Iterator[Any], probe_rows: Iterator[tuple], ctx: Any) -> Iterator[tuple]:
+            part = next(iter(parts))
+            t0 = time.perf_counter()
+            # Group probe rows by key: each distinct key's backward-pointer
+            # chain is searched and decoded exactly once.
+            by_key: dict[Any, list[tuple]] = {}
+            for row in probe_rows:
+                by_key.setdefault(probe_key(row), []).append(row)
+            matches_by_key = part.lookup_many(by_key.keys())
+            out: list[tuple] = []
+            for key, rows_for_key in by_key.items():
+                matches = matches_by_key[key]
+                for row in rows_for_key:
+                    if matches:
+                        emitted = False
+                        for match in matches:
+                            joined = (match + row) if indexed_on_left else (row + match)
+                            if residual is None or residual.eval(joined):
+                                out.append(joined)
+                                emitted = True
+                        if how == "left" and not indexed_on_left and not emitted:
+                            out.append(row + null_indexed)
+                    elif how == "left" and not indexed_on_left:
+                        out.append(row + null_indexed)
+            ctx.add_phase("probe", time.perf_counter() - t0)
+            return iter(out)
+
+        probe_rdd = self.probe.execute()
+        probe_bytes = self.probe.estimated_rows() * estimate_row_bytes(self.probe.schema)
+        context = session.context
+        if probe_bytes <= context.config.broadcast_threshold:
+            # Broadcast fallback: ship all probe rows to every index partition,
+            # pre-bucketed by the index partitioner so each partition only
+            # probes keys it can own.
+            t0 = time.perf_counter()
+            rows = probe_rdd.collect()
+            session.phase_timer.add("collect_probe", time.perf_counter() - t0)
+            buckets: dict[int, list[tuple]] = {}
+            for row in rows:
+                buckets.setdefault(idf.partitioner.partition(probe_key(row)), []).append(row)
+            bcast_seconds = context.network.broadcast_time(
+                estimate_size(rows), context.topology.num_machines
+            )
+            session.phase_timer.add("broadcast", bcast_seconds)
+
+            def probe_broadcast(split: int, parts: Iterator[Any], ctx: Any) -> Iterator[tuple]:
+                return probe_partition(parts, iter(buckets.get(split, ())), ctx)
+
+            from repro.engine.rdd import MapPartitionsRDD
+
+            return MapPartitionsRDD(
+                idf.rdd, lambda it, split, ctx: probe_broadcast(split, it, ctx)
+            )
+        # Shuffle the probe side to the index's partitions (Section III-C).
+        shuffled = probe_rdd.partition_by(idf.partitioner, key_func=probe_key)
+        return self._zip_with_ctx(shuffled, probe_partition)
+
+    def _zip_with_ctx(self, shuffled: RDD, probe_partition: Any) -> RDD:
+        """zip_partitions variant that passes the TaskContext through."""
+        from repro.engine.dependencies import OneToOneDependency
+        from repro.engine.partition import TaskContext
+        from repro.engine.rdd import RDD as BaseRDD
+
+        idf_rdd = self.idf.rdd
+
+        class _IndexedJoinRDD(BaseRDD):
+            def __init__(join_self) -> None:
+                BaseRDD.__init__(
+                    join_self,
+                    idf_rdd.context,
+                    [OneToOneDependency(idf_rdd), OneToOneDependency(shuffled)],
+                )
+                join_self.partitioner = idf_rdd.partitioner
+
+            @property
+            def num_partitions(join_self) -> int:
+                return idf_rdd.num_partitions
+
+            def compute(join_self, split: int, ctx: TaskContext) -> Iterator[tuple]:
+                return probe_partition(
+                    idf_rdd.iterator(split, ctx), shuffled.iterator(split, ctx), ctx
+                )
+
+        return _IndexedJoinRDD()
+
+    def estimated_rows(self) -> int:
+        return self.probe.estimated_rows()
+
+    def __repr__(self) -> str:
+        side = "left" if self.indexed_on_left else "right"
+        return f"IndexedJoin({self.idf.name} as build/{side}, how={self.how})"

@@ -1,0 +1,188 @@
+"""Out-of-core row batches (paper Section III-C).
+
+    "Our implementation stores data in-memory. This decision was made to
+    optimize for performance but without loss of generality; the
+    representation could easily extend to store data out-of-core, for
+    example in SSD or NVMe devices for different tradeoffs."
+
+This module builds that extension: :class:`SpillableRowBatch` has the same
+reserve/write/append interface as :class:`~repro.indexed.row_batch.RowBatch`
+but can ``spill()`` its buffer to a file and transparently fault it back on
+the next read. :func:`spill_partition` converts an existing partition's
+*sealed* batches (everything but the active tail, which still takes
+appends) to spilled form — the natural cold/hot split for an append-only
+store. Lookups keep working unchanged; they just pay a fault on first
+touch of a cold batch, which the ``faults`` counter exposes for benchmarks.
+
+Spilled batches are immutable (sealed) by construction; versions sharing a
+batch all observe the spill/fault transparently.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+
+from repro.indexed.partition import IndexedPartition
+from repro.indexed.row_batch import RowBatch
+
+
+class SpillableRowBatch:
+    """A row batch whose bytes may live on disk.
+
+    Same interface as :class:`RowBatch` (``reserve``/``write``/``append``/
+    ``buf``/``used``/``capacity``) plus ``spill()``/``ensure_resident()``.
+    Writes require residency; sealed (spilled) batches are read-only until
+    faulted back in.
+    """
+
+    def __init__(self, capacity: int, spill_dir: "str | None" = None) -> None:
+        if capacity <= 0:
+            raise ValueError("batch capacity must be positive")
+        self.capacity = capacity
+        self._buf: "bytearray | None" = bytearray(capacity)
+        self._used = 0
+        self._lock = threading.Lock()
+        self._spill_dir = spill_dir or tempfile.gettempdir()
+        self._path: "str | None" = None
+        #: Number of faults (loads from disk) — the out-of-core read cost.
+        self.faults = 0
+
+    # -- RowBatch interface ---------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def buf(self) -> bytearray:
+        """The batch bytes; faults them in from disk when spilled."""
+        if self._buf is None:
+            self.ensure_resident()
+        return self._buf  # type: ignore[return-value]
+
+    def reserve(self, nbytes: int) -> "int | None":
+        with self._lock:
+            if self._buf is None:
+                raise RuntimeError("cannot reserve space in a spilled batch")
+            if self._used + nbytes > self.capacity:
+                return None
+            offset = self._used
+            self._used += nbytes
+            return offset
+
+    def write(self, offset: int, data: bytes) -> None:
+        if self._buf is None:
+            raise RuntimeError("cannot write to a spilled batch")
+        self._buf[offset : offset + len(data)] = data
+
+    def append(self, data: bytes) -> "int | None":
+        offset = self.reserve(len(data))
+        if offset is not None:
+            self.write(offset, data)
+        return offset
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity
+
+    # -- spilling ----------------------------------------------------------------
+
+    @property
+    def resident(self) -> bool:
+        return self._buf is not None
+
+    def spill(self) -> int:
+        """Write the used bytes to disk and release the in-memory buffer.
+
+        Returns the bytes freed. Idempotent; a second spill reuses the file.
+        """
+        with self._lock:
+            if self._buf is None:
+                return 0
+            if self._path is None:
+                fd, self._path = tempfile.mkstemp(
+                    prefix="rowbatch-", suffix=".spill", dir=self._spill_dir
+                )
+                with os.fdopen(fd, "wb") as f:
+                    f.write(bytes(self._buf[: self._used]))
+            freed = self.capacity
+            self._buf = None
+            return freed
+
+    def ensure_resident(self) -> None:
+        """Fault the batch back into memory (no-op when already resident)."""
+        with self._lock:
+            if self._buf is not None:
+                return
+            assert self._path is not None
+            buf = bytearray(self.capacity)
+            with open(self._path, "rb") as f:
+                data = f.read()
+            buf[: len(data)] = data
+            self._buf = buf
+            self.faults += 1
+
+    def discard_file(self) -> None:
+        """Remove the backing file (after faulting in, or on drop)."""
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except FileNotFoundError:
+                pass
+            self._path = None
+
+    @classmethod
+    def from_batch(cls, batch: "RowBatch | SpillableRowBatch", spill_dir: "str | None" = None) -> "SpillableRowBatch":
+        """Copy an in-memory batch into spillable form (one-time copy)."""
+        out = cls(batch.capacity, spill_dir=spill_dir)
+        used = batch.used
+        out._buf[:used] = batch.buf[:used]  # type: ignore[index]
+        out._used = used
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "resident" if self.resident else "spilled"
+        return f"SpillableRowBatch({self._used}/{self.capacity}, {state})"
+
+
+def spill_partition(
+    partition: IndexedPartition,
+    spill_dir: "str | None" = None,
+    keep_tail: bool = True,
+) -> int:
+    """Convert the partition's sealed batches to spilled form.
+
+    The active tail batch (still receiving appends) stays in memory when
+    ``keep_tail``; everything else moves to disk. Returns bytes freed.
+    Chain walks keep working — cold batches fault back in on first read.
+    """
+    freed = 0
+    last = len(partition.batches) - 1
+    for i, batch in enumerate(partition.batches):
+        if keep_tail and i == last:
+            continue
+        if not isinstance(batch, SpillableRowBatch):
+            batch = SpillableRowBatch.from_batch(batch, spill_dir=spill_dir)
+            partition.batches[i] = batch
+        freed += batch.spill()
+    return freed
+
+
+def resident_bytes(partition: IndexedPartition) -> int:
+    """Bytes of batch capacity currently held in memory."""
+    total = 0
+    for batch in partition.batches:
+        if isinstance(batch, SpillableRowBatch):
+            if batch.resident:
+                total += batch.capacity
+        else:
+            total += batch.capacity
+    return total
+
+
+def fault_count(partition: IndexedPartition) -> int:
+    return sum(
+        b.faults for b in partition.batches if isinstance(b, SpillableRowBatch)
+    )

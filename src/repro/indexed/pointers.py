@@ -1,0 +1,61 @@
+"""Packed 64-bit row pointers (paper Section III-C).
+
+"The pointers stored both in the cTrie and in the backward pointer data
+structure are packed in dense 64-bit integers, each containing the row
+batch number, an offset within a row batch, and the size of the previous
+row indexed on the same key."
+
+Bit layout (documented here, enforced by :func:`pack`):
+
+=========  ====  ==========================================================
+field      bits  range
+=========  ====  ==========================================================
+batch      24    up to 16M batches per partition (paper allows 2^31)
+offset     26    up to 64 MB offsets inside one batch (paper max 4 MB)
+prev_size  14    up to 16 KB encoded row size (paper max row 1 KB)
+=========  ====  ==========================================================
+
+``NULL_POINTER`` (all ones) terminates backward-pointer chains.
+"""
+
+from __future__ import annotations
+
+BATCH_BITS = 24
+OFFSET_BITS = 26
+SIZE_BITS = 14
+
+MAX_BATCH = (1 << BATCH_BITS) - 1
+MAX_OFFSET = (1 << OFFSET_BITS) - 1
+MAX_SIZE = (1 << SIZE_BITS) - 1
+
+_OFFSET_SHIFT = SIZE_BITS
+_BATCH_SHIFT = SIZE_BITS + OFFSET_BITS
+
+#: Sentinel ending a backward-pointer chain (no previous row for the key).
+NULL_POINTER = (1 << 64) - 1
+
+
+def pack(batch: int, offset: int, prev_size: int) -> int:
+    """Pack (batch, offset, prev_size) into one 64-bit integer."""
+    if not 0 <= batch <= MAX_BATCH:
+        raise ValueError(f"batch {batch} out of range [0, {MAX_BATCH}]")
+    if not 0 <= offset <= MAX_OFFSET:
+        raise ValueError(f"offset {offset} out of range [0, {MAX_OFFSET}]")
+    if not 0 <= prev_size <= MAX_SIZE:
+        raise ValueError(f"prev_size {prev_size} out of range [0, {MAX_SIZE}]")
+    return (batch << _BATCH_SHIFT) | (offset << _OFFSET_SHIFT) | prev_size
+
+
+def unpack(pointer: int) -> tuple[int, int, int]:
+    """Inverse of :func:`pack`: (batch, offset, prev_size)."""
+    if pointer == NULL_POINTER:
+        raise ValueError("cannot unpack NULL_POINTER")
+    return (
+        (pointer >> _BATCH_SHIFT) & MAX_BATCH,
+        (pointer >> _OFFSET_SHIFT) & MAX_OFFSET,
+        pointer & MAX_SIZE,
+    )
+
+
+def is_null(pointer: int) -> bool:
+    return pointer == NULL_POINTER

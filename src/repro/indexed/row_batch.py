@@ -1,0 +1,59 @@
+"""Row batches: fixed-capacity binary buffers holding encoded rows.
+
+The paper's batches are 4 MB "unsafe" off-heap arrays; ours are
+``bytearray`` buffers — likewise outside any per-row object bookkeeping.
+Batches are **append-only and shared across MVCC versions**: a snapshot
+shares the batch objects, and divergent children may keep appending into
+the same tail batch because (a) space is *reserved atomically*, so writers
+never overlap, and (b) visibility is governed solely by each version's own
+cTrie and backward pointers, so foreign rows in a shared batch are simply
+unreachable (Section III-E).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RowBatch:
+    """One append-only buffer of encoded rows."""
+
+    __slots__ = ("buf", "capacity", "_lock", "_used")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("batch capacity must be positive")
+        self.capacity = capacity
+        self.buf = bytearray(capacity)
+        self._used = 0
+        self._lock = threading.Lock()
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def reserve(self, nbytes: int) -> int | None:
+        """Atomically claim ``nbytes``; returns the offset or None if full."""
+        with self._lock:
+            if self._used + nbytes > self.capacity:
+                return None
+            offset = self._used
+            self._used += nbytes
+            return offset
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.buf[offset : offset + len(data)] = data
+
+    def append(self, data: bytes) -> int | None:
+        """reserve + write; returns the offset or None if full."""
+        offset = self.reserve(len(data))
+        if offset is not None:
+            self.write(offset, data)
+        return offset
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RowBatch(used={self._used}/{self.capacity})"

@@ -1,0 +1,291 @@
+"""Schema-driven binary row encoding for the row batches.
+
+The Indexed Batch RDD stores rows *row-wise* in binary buffers (paper
+Fig. 3 and footnote 2). Encoded layout of one row::
+
+    [prev_ptr: u64]        backward pointer (written by the partition)
+    [row_len:  u16]        total bytes after this field
+    [null bitmap]          ceil(n_fields / 8) bytes
+    [field 0][field 1]...  fixed-width primitives; strings length-prefixed
+
+The prev_ptr prefix is what makes the per-key linked list ("backward
+pointers") navigable: the cTrie points at the newest row; each row points
+at its predecessor.
+
+The codec compiles per-field pack/unpack closures once per schema — the
+per-row hot path does no type dispatch (guide: hoist work out of loops).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.sql.types import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+    LongType,
+    Schema,
+    StringType,
+)
+
+HEADER_PREV_PTR = struct.Struct("<Q")
+HEADER_ROW_LEN = struct.Struct("<H")
+#: Bytes before the null bitmap: 8 (prev ptr) + 2 (row length).
+ROW_HEADER_SIZE = HEADER_PREV_PTR.size + HEADER_ROW_LEN.size
+
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U16 = struct.Struct("<H")
+
+
+class RowCodec:
+    """Encodes/decodes row tuples for one schema."""
+
+    def __init__(self, schema: Schema, max_row_size: int = 1024) -> None:
+        self.schema = schema
+        self.max_row_size = max_row_size
+        self.num_fields = len(schema)
+        self.null_bitmap_bytes = (self.num_fields + 7) // 8
+        self._encoders: list[Callable[[Any, bytearray], None]] = []
+        self._decoders: list[Callable[[bytes, int], tuple[Any, int]]] = []
+        for field in schema.fields:
+            enc, dec = _codec_for(field.dtype)
+            self._encoders.append(enc)
+            self._decoders.append(dec)
+        # Fast path: null-free rows encode/decode through *segments* — each
+        # maximal run of fixed-width fields becomes one precompiled Struct
+        # call; strings stay length-prefixed between runs. One C-level call
+        # per run instead of one Python closure per field is the difference
+        # between the indexed scan being ~10x vs ~2x slower per row than the
+        # columnar cache (and why the paper recommends primitive key types).
+        self._segments = _build_segments(schema)
+        self._zero_bitmap = bytes(self.null_bitmap_bytes)
+        # Codegen (the whole-stage-codegen analogue): a decoder specialized
+        # to this schema is generated and compiled once; it returns None for
+        # rows with nulls, which fall back to the generic per-field path.
+        self._fast_decode = _compile_fast_decoder(self._segments, self.null_bitmap_bytes)
+
+    # -- encode -----------------------------------------------------------------
+
+    def encode(self, row: tuple, prev_ptr: int) -> bytes:
+        """Encode one row with its backward pointer; returns the full record."""
+        if len(row) != self.num_fields:
+            raise ValueError(f"row has {len(row)} fields, schema has {self.num_fields}")
+        try:
+            parts = []
+            idx = 0
+            for kind, st, count in self._segments:
+                if kind == "f":
+                    parts.append(st.pack(*row[idx : idx + count]))
+                    idx += count
+                else:
+                    raw = row[idx].encode("utf-8")
+                    parts.append(_U16.pack(len(raw)))
+                    parts.append(raw)
+                    idx += 1
+        except (struct.error, TypeError, AttributeError):
+            pass  # nulls or out-of-range values: take the generic path
+        else:
+            body_bytes = b"".join(parts)
+            row_len = self.null_bitmap_bytes + len(body_bytes)
+            total = ROW_HEADER_SIZE + row_len
+            if total > self.max_row_size:
+                raise ValueError(
+                    f"encoded row is {total} bytes, exceeding the "
+                    f"{self.max_row_size}-byte limit"
+                )
+            out = bytearray(ROW_HEADER_SIZE)
+            HEADER_PREV_PTR.pack_into(out, 0, prev_ptr)
+            HEADER_ROW_LEN.pack_into(out, 8, row_len)
+            out += self._zero_bitmap
+            out += body_bytes
+            return bytes(out)
+        bitmap = bytearray(self.null_bitmap_bytes)
+        body = bytearray()
+        for i, (value, enc) in enumerate(zip(row, self._encoders)):
+            if value is None:
+                bitmap[i >> 3] |= 1 << (i & 7)
+            else:
+                enc(value, body)
+        row_len = self.null_bitmap_bytes + len(body)
+        total = ROW_HEADER_SIZE + row_len
+        if total > self.max_row_size:
+            raise ValueError(
+                f"encoded row is {total} bytes, exceeding the {self.max_row_size}-byte "
+                "limit (paper Section III-C: rows may have up to 1 KB)"
+            )
+        out = bytearray(ROW_HEADER_SIZE)
+        HEADER_PREV_PTR.pack_into(out, 0, prev_ptr)
+        HEADER_ROW_LEN.pack_into(out, 8, row_len)
+        out += bitmap
+        out += body
+        return bytes(out)
+
+    # -- decode -----------------------------------------------------------------
+
+    def decode(self, buf: "bytes | bytearray | memoryview", offset: int) -> tuple[tuple, int, int]:
+        """Decode the record at ``offset``; returns (row, prev_ptr, record_size)."""
+        fast = self._fast_decode(buf, offset)
+        if fast is not None:
+            return fast
+        return self._decode_generic(buf, offset)
+
+    def _decode_generic(
+        self, buf: "bytes | bytearray | memoryview", offset: int
+    ) -> tuple[tuple, int, int]:
+        """Per-field decode handling null bitmaps (any row shape)."""
+        prev_ptr = HEADER_PREV_PTR.unpack_from(buf, offset)[0]
+        row_len = HEADER_ROW_LEN.unpack_from(buf, offset + 8)[0]
+        pos = offset + ROW_HEADER_SIZE
+        bitmap = bytes(buf[pos : pos + self.null_bitmap_bytes])
+        pos += self.null_bitmap_bytes
+        values: list[Any] = []
+        for i, dec in enumerate(self._decoders):
+            if bitmap[i >> 3] & (1 << (i & 7)):
+                values.append(None)
+            else:
+                value, pos = dec(buf, pos)
+                values.append(value)
+        return tuple(values), prev_ptr, ROW_HEADER_SIZE + row_len
+
+    def record_size(self, buf: "bytes | bytearray | memoryview", offset: int) -> int:
+        return ROW_HEADER_SIZE + HEADER_ROW_LEN.unpack_from(buf, offset + 8)[0]
+
+    def read_prev_ptr(self, buf: "bytes | bytearray | memoryview", offset: int) -> int:
+        return HEADER_PREV_PTR.unpack_from(buf, offset)[0]
+
+
+_FIXED_CODES = {
+    IntegerType: "i",
+    LongType: "q",
+    DoubleType: "d",
+    BooleanType: "?",
+}
+
+
+#: Header struct reading prev_ptr and row_len with one C call.
+_HEADER = struct.Struct("<QH")
+
+
+def _compile_fast_decoder(
+    segments: list[tuple[str, Any, int]], null_bitmap_bytes: int
+) -> Callable[[Any, int], "tuple[tuple, int, int] | None"]:
+    """Generate a decoder function specialized to one schema.
+
+    This is the repository's analogue of Spark's whole-stage code
+    generation: the segment loop, offsets and struct objects are baked into
+    straight-line source compiled once per schema, ~2x faster per row than
+    the generic loop. The generated function returns None when the row has
+    nulls (caller falls back to :meth:`RowCodec._decode_generic`).
+    """
+    ns: dict[str, Any] = {"_hdr": _HEADER, "_u16": _U16}
+    lines = [
+        "def _fast(buf, offset):",
+        "    prev_ptr, row_len = _hdr.unpack_from(buf, offset)",
+        f"    pos = offset + {ROW_HEADER_SIZE}",
+    ]
+    # Null check: rows with any null take the generic path.
+    checks = " or ".join(f"buf[pos + {i}]" for i in range(null_bitmap_bytes))
+    lines.append(f"    if {checks}:")
+    lines.append("        return None")
+    lines.append(f"    pos += {null_bitmap_bytes}")
+    lines.append("    out = ()")
+    for i, (kind, st, _count) in enumerate(segments):
+        if kind == "f":
+            ns[f"_s{i}"] = st
+            lines.append(f"    out += _s{i}.unpack_from(buf, pos)")
+            lines.append(f"    pos += {st.size}")
+        else:
+            lines.append("    _n = _u16.unpack_from(buf, pos)[0]")
+            lines.append("    _e = pos + 2 + _n")
+            lines.append('    out += (str(buf[pos + 2:_e], "utf-8"),)')
+            lines.append("    pos = _e")
+    lines.append(f"    return out, prev_ptr, {ROW_HEADER_SIZE} + row_len")
+    exec("\n".join(lines), ns)  # noqa: S102 - controlled, schema-derived source
+    return ns["_fast"]
+
+
+def _build_segments(schema: Schema) -> list[tuple[str, Any, int]]:
+    """Compile the schema into codec segments.
+
+    Returns a list of ``("f", Struct, field_count)`` for maximal runs of
+    fixed-width fields and ``("s", None, 1)`` for string fields.
+    """
+    segments: list[tuple[str, Any, int]] = []
+    run: list[str] = []
+
+    def flush() -> None:
+        if run:
+            segments.append(("f", struct.Struct("<" + "".join(run)), len(run)))
+            run.clear()
+
+    for field in schema.fields:
+        code = _FIXED_CODES.get(type(field.dtype))
+        if code is None:
+            flush()
+            segments.append(("s", None, 1))
+        else:
+            run.append(code)
+    flush()
+    return segments
+
+
+def _codec_for(
+    dtype: DataType,
+) -> tuple[Callable[[Any, bytearray], None], Callable[[bytes, int], tuple[Any, int]]]:
+    if isinstance(dtype, IntegerType):
+
+        def enc_i32(v: Any, out: bytearray) -> None:
+            out += _I32.pack(int(v))
+
+        def dec_i32(buf: bytes, pos: int) -> tuple[int, int]:
+            return _I32.unpack_from(buf, pos)[0], pos + 4
+
+        return enc_i32, dec_i32
+    if isinstance(dtype, LongType):
+
+        def enc_i64(v: Any, out: bytearray) -> None:
+            out += _I64.pack(int(v))
+
+        def dec_i64(buf: bytes, pos: int) -> tuple[int, int]:
+            return _I64.unpack_from(buf, pos)[0], pos + 8
+
+        return enc_i64, dec_i64
+    if isinstance(dtype, DoubleType):
+
+        def enc_f64(v: Any, out: bytearray) -> None:
+            out += _F64.pack(float(v))
+
+        def dec_f64(buf: bytes, pos: int) -> tuple[float, int]:
+            return _F64.unpack_from(buf, pos)[0], pos + 8
+
+        return enc_f64, dec_f64
+    if isinstance(dtype, BooleanType):
+
+        def enc_bool(v: Any, out: bytearray) -> None:
+            out.append(1 if v else 0)
+
+        def dec_bool(buf: bytes, pos: int) -> tuple[bool, int]:
+            return bool(buf[pos]), pos + 1
+
+        return enc_bool, dec_bool
+    if isinstance(dtype, StringType):
+
+        def enc_str(v: Any, out: bytearray) -> None:
+            raw = v.encode("utf-8")
+            if len(raw) > 0xFFFF:
+                raise ValueError("string field exceeds 64 KB")
+            out += _U16.pack(len(raw))
+            out += raw
+
+        def dec_str(buf: bytes, pos: int) -> tuple[str, int]:
+            n = _U16.unpack_from(buf, pos)[0]
+            start = pos + 2
+            return bytes(buf[start : start + n]).decode("utf-8"), start + n
+
+        return enc_str, dec_str
+    raise TypeError(f"no codec for {dtype!r}")

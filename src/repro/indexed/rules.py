@@ -1,0 +1,185 @@
+"""Catalyst integration: index-aware rules injected into the session.
+
+This module is the Section III-B machinery:
+
+* :class:`IndexedRelation` — a logical leaf wrapping an IndexedDataFrame,
+  so indexed data participates in ordinary logical plans (SQL or the
+  DataFrame API);
+* :func:`indexed_strategy` — a planner strategy that pattern-matches
+
+  - ``Filter(key = literal, IndexedRelation)`` (also ``IN``)  -> IndexedLookupExec,
+  - ``Join(..., IndexedRelation on its index key, ...)``      -> IndexedJoinExec
+    with the indexed relation as the pre-built build side,
+  - bare ``IndexedRelation``                                  -> IndexedScanExec,
+
+  and returns ``None`` otherwise so planning falls through to the default
+  operators ("for queries on non-indexed dataframes we fall back to the
+  default Spark behavior" — and likewise for non-index-friendly queries on
+  indexed data, which run over the full indexed scan);
+* ``DataFrame.create_index`` — added to the DataFrame class at import time,
+  the Python analogue of the paper's Scala implicit conversions;
+* :func:`enable_indexing` — installs the strategy on a session (idempotent);
+  called automatically by ``create_index``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.indexed.operators import IndexedJoinExec, IndexedLookupExec, IndexedScanExec
+from repro.sql.analysis import resolve_expression
+from repro.sql.dataframe import DataFrame
+from repro.sql.expressions import (
+    BinaryOp,
+    Column,
+    Expression,
+    In,
+    Literal,
+    combine_conjuncts,
+    split_conjuncts,
+)
+from repro.sql.logical import Filter, Join, LogicalPlan, Relation
+from repro.sql.physical import FilterExec, PhysicalPlan
+from repro.sql.planner import Planner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.indexed.indexed_dataframe import IndexedDataFrame
+    from repro.sql.session import Session
+
+
+class IndexedRelation(Relation):
+    """Logical leaf for an IndexedDataFrame."""
+
+    def __init__(self, idf: "IndexedDataFrame") -> None:
+        super().__init__(idf.name, idf.schema, rows=None, cached=None)
+        self.idf = idf
+
+    def estimated_row_count(self) -> int:
+        # Indexed relations are the big side by design (the paper always
+        # indexes the large table); report a large stand-in so join-side
+        # selection treats them accordingly without running a job.
+        return self.idf.session.context.config.get("indexed_row_estimate", 1_000_000)
+
+    def __repr__(self) -> str:
+        return f"IndexedRelation({self.idf.name}, key={self.idf.key_column}, v={self.idf.version})"
+
+
+def extract_lookup_keys(
+    condition: Expression, key_column: str
+) -> tuple[list[Any] | None, Expression | None]:
+    """Split a predicate into (lookup key values, residual condition).
+
+    Claims ``key = literal`` and ``key IN (literals)`` conjuncts; every other
+    conjunct becomes residual. Returns (None, None) when no conjunct
+    constrains the key by equality (the index cannot help: Fig. 8's
+    non-equality filters).
+    """
+    key_sets: list[set[Any]] = []
+    residual: list[Expression] = []
+    for conj in split_conjuncts(condition):
+        claimed = False
+        if isinstance(conj, BinaryOp) and conj.op == "=":
+            a, b = conj.left, conj.right
+            if isinstance(a, Column) and a.name == key_column and isinstance(b, Literal):
+                key_sets.append({b.value})
+                claimed = True
+            elif isinstance(b, Column) and b.name == key_column and isinstance(a, Literal):
+                key_sets.append({a.value})
+                claimed = True
+        elif isinstance(conj, In) and isinstance(conj.child, Column) and conj.child.name == key_column:
+            if all(isinstance(v, Literal) for v in conj.values):
+                key_sets.append({v.value for v in conj.values})
+                claimed = True
+        if not claimed:
+            residual.append(conj)
+    if not key_sets:
+        return None, None
+    keys = set.intersection(*key_sets)
+    return sorted(keys, key=repr), combine_conjuncts(residual)
+
+
+def indexed_strategy(planner: Planner, plan: LogicalPlan) -> PhysicalPlan | None:
+    """The injected planner strategy (consulted before the built-ins)."""
+    session = planner.session
+
+    if isinstance(plan, IndexedRelation):
+        return IndexedScanExec(session, plan.idf)
+
+    if isinstance(plan, Filter) and isinstance(plan.child, IndexedRelation):
+        idf = plan.child.idf
+        keys, residual = extract_lookup_keys(plan.condition, idf.key_column)
+        if keys is None:
+            return None  # falls back to FilterExec over IndexedScanExec
+        lookup = IndexedLookupExec(session, idf, keys)
+        if residual is not None:
+            return FilterExec(session, resolve_expression(residual, idf.schema), lookup)
+        return lookup
+
+    if isinstance(plan, Join) and len(plan.left_keys) == 1:
+        lk, rk = plan.left_keys[0], plan.right_keys[0]
+        left_leaf = isinstance(plan.left, IndexedRelation)
+        right_leaf = isinstance(plan.right, IndexedRelation)
+        # Prefer indexing the right side for left-outer compatibility; the
+        # indexed relation is always the build side (pre-built index).
+        if (
+            right_leaf
+            and isinstance(rk, Column)
+            and rk.name == plan.right.idf.key_column
+        ):
+            idf = plan.right.idf
+            probe = planner.plan(plan.left)
+            probe_keys = [resolve_expression(lk, probe.schema)]
+            residual = (
+                resolve_expression(plan.residual, plan.schema)
+                if plan.residual is not None
+                else None
+            )
+            return IndexedJoinExec(
+                session, idf, probe, probe_keys, indexed_on_left=False,
+                schema=plan.schema, how=plan.how, residual=residual,
+            )
+        if (
+            left_leaf
+            and plan.how == "inner"
+            and isinstance(lk, Column)
+            and lk.name == plan.left.idf.key_column
+        ):
+            idf = plan.left.idf
+            probe = planner.plan(plan.right)
+            probe_keys = [resolve_expression(rk, probe.schema)]
+            residual = (
+                resolve_expression(plan.residual, plan.schema)
+                if plan.residual is not None
+                else None
+            )
+            return IndexedJoinExec(
+                session, idf, probe, probe_keys, indexed_on_left=True,
+                schema=plan.schema, how=plan.how, residual=residual,
+            )
+
+    return None
+
+
+def enable_indexing(session: "Session") -> None:
+    """Install the indexed strategy on ``session`` (idempotent)."""
+    if indexed_strategy not in session.extra_strategies:
+        session.extra_strategies.insert(0, indexed_strategy)
+
+
+def _dataframe_create_index(
+    self: DataFrame,
+    column: str,
+    num_partitions: int | None = None,
+    storage_format: str | None = None,
+) -> "IndexedDataFrame":
+    """``df.create_index("col")`` — see :meth:`IndexedDataFrame.create_index`."""
+    from repro.indexed.indexed_dataframe import IndexedDataFrame
+
+    return IndexedDataFrame.create_index(
+        self, column, num_partitions, storage_format=storage_format
+    )
+
+
+# The "implicit conversion": importing repro.indexed adds create_index to
+# every DataFrame, without modifying the sql package (Section III-B).
+DataFrame.create_index = _dataframe_create_index  # type: ignore[attr-defined]

@@ -1,0 +1,48 @@
+"""Spark-SQL analogue: DataFrame API, Catalyst-style optimizer, physical plans.
+
+Queries flow exactly as in Fig. 2 of the paper:
+
+``DataFrame API / SQL text`` -> logical plan -> :class:`~repro.sql.analysis.Analyzer`
+(resolve columns) -> :class:`~repro.sql.optimizer.Optimizer` (rule-based,
+with *injected extension rules*) -> :class:`~repro.sql.planner.Planner`
+(strategies, with *injected extension strategies*) -> physical plan ->
+RDDs on :mod:`repro.engine`.
+
+The extension points (``Session.extra_rules`` / ``Session.extra_strategies``)
+are how :mod:`repro.indexed` integrates without modifying this package —
+mirroring how the paper's library extends Catalyst without touching Spark.
+The built-in baseline is Spark's default: a *columnar* in-memory cache
+(:mod:`repro.sql.cache`) and broadcast/shuffle-hash/sort-merge joins.
+"""
+
+from repro.sql.dataframe import DataFrame
+from repro.sql.functions import avg, col, count, lit, max_, min_, sum_
+from repro.sql.session import Session
+from repro.sql.types import (
+    BooleanType,
+    DoubleType,
+    IntegerType,
+    LongType,
+    Schema,
+    StringType,
+    StructField,
+)
+
+__all__ = [
+    "BooleanType",
+    "DataFrame",
+    "DoubleType",
+    "IntegerType",
+    "LongType",
+    "Schema",
+    "Session",
+    "StringType",
+    "StructField",
+    "avg",
+    "col",
+    "count",
+    "lit",
+    "max_",
+    "min_",
+    "sum_",
+]

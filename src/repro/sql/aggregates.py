@@ -1,0 +1,94 @@
+"""Hash aggregation: partial (map-side) + final (reduce-side) phases."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import RDD
+from repro.sql.expressions import AggregateExpression, Alias, Expression
+from repro.sql.physical import PhysicalPlan
+from repro.sql.types import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.session import Session
+
+
+def _unwrap(expr: Expression) -> AggregateExpression:
+    inner = expr.child if isinstance(expr, Alias) else expr
+    assert isinstance(inner, AggregateExpression)
+    return inner
+
+
+class HashAggregateExec(PhysicalPlan):
+    """Grouped aggregation with map-side partial aggregation.
+
+    Plan shape mirrors Spark: partial aggregate per input partition,
+    shuffle the (group-key, accumulators) pairs, merge + finish per output
+    partition. With no group keys the final merge happens on one partition.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        group_exprs: list[Expression],
+        agg_exprs: list[Expression],
+        schema: Schema,
+        child: PhysicalPlan,
+    ) -> None:
+        super().__init__(session, schema)
+        self.group_exprs = group_exprs
+        self.agg_exprs = agg_exprs
+        self.child = child
+        self._aggs = [_unwrap(e) for e in agg_exprs]
+
+    def children(self) -> list[PhysicalPlan]:
+        return [self.child]
+
+    def execute(self) -> RDD:
+        group_exprs = self.group_exprs
+        aggs = self._aggs
+
+        def group_key(row: tuple) -> tuple:
+            return tuple(e.eval(row) for e in group_exprs)
+
+        def partial(rows: Iterator[tuple]) -> Iterator[tuple[tuple, tuple]]:
+            accs: dict[tuple, list[Any]] = {}
+            for row in rows:
+                k = group_key(row)
+                acc = accs.get(k)
+                if acc is None:
+                    acc = [a.init() for a in aggs]
+                    accs[k] = acc
+                for i, a in enumerate(aggs):
+                    acc[i] = a.update(acc[i], row)
+            return ((k, tuple(v)) for k, v in accs.items())
+
+        def final(pairs: Iterator[tuple[tuple, tuple]]) -> Iterator[tuple]:
+            merged: dict[tuple, list[Any]] = {}
+            for k, acc in pairs:
+                cur = merged.get(k)
+                if cur is None:
+                    merged[k] = list(acc)
+                else:
+                    for i, a in enumerate(aggs):
+                        cur[i] = a.merge(cur[i], acc[i])
+            for k, acc in merged.items():
+                yield k + tuple(a.finish(v) for a, v in zip(aggs, acc))
+
+        partials = self.child.execute().map_partitions(partial)
+        if group_exprs:
+            n = self.session.context.config.shuffle_partitions
+            shuffled = partials.partition_by(HashPartitioner(n), key_func=lambda kv: kv[0])
+        else:
+            shuffled = partials.coalesce(1)
+        return shuffled.map_partitions(final, preserves_partitioning=True)
+
+    def estimated_rows(self) -> int:
+        return max(1, self.child.estimated_rows() // 10)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashAggregate(by=[{', '.join(e.output_name() for e in self.group_exprs)}], "
+            f"aggs=[{', '.join(e.output_name() for e in self.agg_exprs)}])"
+        )

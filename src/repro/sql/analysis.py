@@ -1,0 +1,84 @@
+"""Analyzer: resolve column references to ordinals and sanity-check plans.
+
+The analyzer clones expressions during resolution (user-built ``col("x")``
+objects may be shared between queries), so logical plans are immutable and
+reusable — a property the optimizer and the indexed rules rely on.
+"""
+
+from __future__ import annotations
+
+from repro.sql.expressions import Alias, AggregateExpression, Column, Expression
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Relation,
+    Sort,
+    Union,
+)
+from repro.sql.types import Schema
+
+
+class AnalysisError(Exception):
+    """Unresolvable column, type mismatch, or malformed plan."""
+
+
+def resolve_expression(expr: Expression, schema: Schema) -> Expression:
+    """Return a copy of ``expr`` with every Column bound to its ordinal."""
+
+    def binder(e: Expression) -> Expression | None:
+        if isinstance(e, Column):
+            try:
+                return Column(e.name, schema.index_of(e.name))
+            except KeyError as exc:
+                raise AnalysisError(str(exc)) from None
+        return None
+
+    return expr.transform(binder)
+
+
+class Analyzer:
+    """Resolves a logical plan bottom-up."""
+
+    def analyze(self, plan: LogicalPlan) -> LogicalPlan:
+        if isinstance(plan, Relation) or not plan.children():
+            return plan
+        kids = [self.analyze(c) for c in plan.children()]
+        if isinstance(plan, Project):
+            child = kids[0]
+            exprs = [resolve_expression(e, child.schema) for e in plan.exprs]
+            return Project(exprs, child)
+        if isinstance(plan, Filter):
+            child = kids[0]
+            return Filter(resolve_expression(plan.condition, child.schema), child)
+        if isinstance(plan, Join):
+            left, right = kids
+            lk = [resolve_expression(e, left.schema) for e in plan.left_keys]
+            rk = [resolve_expression(e, right.schema) for e in plan.right_keys]
+            residual = (
+                resolve_expression(plan.residual, left.schema.concat(right.schema))
+                if plan.residual is not None
+                else None
+            )
+            return Join(left, right, lk, rk, plan.how, residual)
+        if isinstance(plan, Aggregate):
+            child = kids[0]
+            groups = [resolve_expression(e, child.schema) for e in plan.group_exprs]
+            aggs = []
+            for e in plan.agg_exprs:
+                resolved = resolve_expression(e, child.schema)
+                inner = resolved.child if isinstance(resolved, Alias) else resolved
+                if not isinstance(inner, AggregateExpression):
+                    raise AnalysisError(f"{e!r} is not an aggregate expression")
+                aggs.append(resolved)
+            return Aggregate(groups, aggs, child)
+        if isinstance(plan, Sort):
+            child = kids[0]
+            keys = [(resolve_expression(e, child.schema), asc) for e, asc in plan.keys]
+            return Sort(keys, child)
+        if isinstance(plan, (Limit, Union)):
+            return plan.with_children(kids)
+        return plan.with_children(kids)

@@ -1,0 +1,32 @@
+"""Catalog: named temp views for the SQL entry point."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sql.logical import LogicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.dataframe import DataFrame
+
+
+class Catalog:
+    def __init__(self) -> None:
+        self._views: dict[str, LogicalPlan] = {}
+
+    def register(self, name: str, plan: LogicalPlan) -> None:
+        self._views[name.lower()] = plan
+
+    def lookup(self, name: str) -> LogicalPlan:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"table or view {name!r} not found; known: {sorted(self._views)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._views.pop(name.lower(), None)
+
+    def names(self) -> list[str]:
+        return sorted(self._views)

@@ -1,0 +1,93 @@
+"""Columnar batches: the representation behind Spark's in-memory cache.
+
+The paper's baseline is "the default in-memory (columnar) caching mechanism
+provided by Spark" (Section IV-A). A :class:`ColumnBatch` stores one
+partition's rows as one numpy array per column, enabling vectorized
+projection/filtering — the reason the *baseline* beats the row-wise Indexed
+DataFrame on projections and non-equality filters (Fig. 8) and on SNB
+SQ5/SQ6 (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.sql.types import Schema
+
+
+class ColumnBatch:
+    """One partition's data, column-major."""
+
+    __slots__ = ("columns", "num_rows", "schema")
+
+    def __init__(self, schema: Schema, columns: dict[str, np.ndarray], num_rows: int) -> None:
+        self.schema = schema
+        self.columns = columns
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], schema: Schema) -> "ColumnBatch":
+        """Transpose row tuples into typed numpy columns."""
+        n = len(rows)
+        columns: dict[str, np.ndarray] = {}
+        for i, field in enumerate(schema.fields):
+            dtype = field.dtype.numpy_dtype
+            if dtype is object:
+                arr = np.empty(n, dtype=object)
+                for j, row in enumerate(rows):
+                    arr[j] = row[i]
+            else:
+                arr = np.fromiter((row[i] for row in rows), dtype=dtype, count=n)
+            columns[field.name] = arr
+        return cls(schema, columns, n)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def project(self, names: Sequence[str]) -> "ColumnBatch":
+        """Zero-copy column selection (views, not copies)."""
+        return ColumnBatch(
+            self.schema.select(names), {n: self.columns[n] for n in names}, self.num_rows
+        )
+
+    def filter(self, mask: np.ndarray) -> "ColumnBatch":
+        return ColumnBatch(
+            self.schema,
+            {n: c[mask] for n, c in self.columns.items()},
+            int(np.count_nonzero(mask)),
+        )
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize row tuples (the row-materialization cost the paper
+        mentions for columnar formats, CORES [42])."""
+        if self.num_rows == 0:
+            return []
+        cols = [self.columns[f.name] for f in self.schema.fields]
+        # ndarray.tolist() converts numpy scalars to Python objects in bulk,
+        # far faster than per-element item() calls.
+        pylists = [c.tolist() for c in cols]
+        return list(zip(*pylists))
+
+    def iter_rows(self) -> Iterator[tuple]:
+        return iter(self.to_rows())
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        for c in self.columns.values():
+            if c.dtype == object:
+                # Approximate: pointer + average payload for strings.
+                total += c.nbytes + sum(len(s) if isinstance(s, str) else 8 for s in c[:64]) * (
+                    max(1, len(c)) // max(1, min(len(c), 64))
+                )
+            else:
+                total += c.nbytes
+        return total
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ColumnBatch(rows={self.num_rows}, cols={list(self.columns)})"

@@ -1,0 +1,561 @@
+"""Expression trees with two evaluation paths.
+
+Every expression supports:
+
+* ``eval(row)`` — scalar evaluation against a tuple (used by row-at-a-time
+  operators: joins, the indexed scan);
+* ``eval_vector(columns)`` — vectorized evaluation against a dict of numpy
+  column arrays (used by the columnar cache scan).
+
+The dual paths are not an implementation convenience — they *are* the
+paper's Fig. 8 / Fig. 13 story: the vanilla columnar cache evaluates
+projections/filters vectorized, while the Indexed DataFrame's row-wise
+batches must decode whole rows, which is why projections and non-equality
+filters are the operators where the index loses.
+
+Expressions are resolved (column names -> ordinals) by the Analyzer before
+execution; evaluating an unresolved expression raises.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.sql.types import (
+    BOOLEAN,
+    DOUBLE,
+    LONG,
+    STRING,
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+    LongType,
+    Schema,
+    StringType,
+)
+
+
+class Expression:
+    """Base expression node."""
+
+    def children(self) -> list["Expression"]:
+        return []
+
+    def references(self) -> set[str]:
+        refs: set[str] = set()
+        for c in self.children():
+            refs |= c.references()
+        return refs
+
+    def eval(self, row: tuple) -> Any:
+        raise NotImplementedError
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def data_type(self, schema: Schema) -> DataType:
+        raise NotImplementedError
+
+    def output_name(self) -> str:
+        return repr(self)
+
+    def transform(self, fn: Callable[["Expression"], "Expression | None"]) -> "Expression":
+        """Bottom-up rewrite: ``fn`` may return a replacement or None."""
+        new_children = [c.transform(fn) for c in self.children()]
+        node = self.with_children(new_children) if new_children else self
+        replaced = fn(node)
+        return replaced if replaced is not None else node
+
+    def with_children(self, children: list["Expression"]) -> "Expression":
+        return self
+
+    # -- operator sugar (used by the DataFrame API) ---------------------------
+
+    def _bin(self, other: Any, op: str) -> "BinaryOp":
+        return BinaryOp(op, self, _to_expr(other))
+
+    def __eq__(self, other: Any) -> "BinaryOp":  # type: ignore[override]
+        return self._bin(other, "=")
+
+    def __ne__(self, other: Any) -> "BinaryOp":  # type: ignore[override]
+        return self._bin(other, "!=")
+
+    def __lt__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "<")
+
+    def __le__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "<=")
+
+    def __gt__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, ">")
+
+    def __ge__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, ">=")
+
+    def __add__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "+")
+
+    def __sub__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "-")
+
+    def __mul__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "*")
+
+    def __truediv__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "/")
+
+    def __mod__(self, other: Any) -> "BinaryOp":
+        return self._bin(other, "%")
+
+    def __and__(self, other: Any) -> "And":
+        return And(self, _to_expr(other))
+
+    def __or__(self, other: Any) -> "Or":
+        return Or(self, _to_expr(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def alias(self, name: str) -> "Alias":
+        return Alias(self, name)
+
+    def isin(self, *values: Any) -> "In":
+        if len(values) == 1 and isinstance(values[0], (list, tuple, set)):
+            values = tuple(values[0])
+        return In(self, [Literal(v) for v in values])
+
+
+def _to_expr(value: Any) -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+class Column(Expression):
+    """A column reference; ``ordinal`` is filled in by the Analyzer."""
+
+    def __init__(self, name: str, ordinal: int | None = None) -> None:
+        self.name = name
+        self.ordinal = ordinal
+
+    def references(self) -> set[str]:
+        return {self.name}
+
+    def eval(self, row: tuple) -> Any:
+        if self.ordinal is None:
+            raise RuntimeError(f"unresolved column {self.name!r}")
+        return row[self.ordinal]
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return columns[self.name]
+
+    def data_type(self, schema: Schema) -> DataType:
+        return schema.field(self.name).dtype
+
+    def output_name(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Literal(Expression):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def eval(self, row: tuple) -> Any:
+        return self.value
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> Any:
+        return self.value  # numpy broadcasts scalars
+
+    def data_type(self, schema: Schema) -> DataType:
+        if isinstance(self.value, bool):
+            return BOOLEAN
+        if isinstance(self.value, int):
+            return LONG
+        if isinstance(self.value, float):
+            return DOUBLE
+        if isinstance(self.value, str):
+            return STRING
+        return STRING
+
+    def output_name(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+_BIN_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class BinaryOp(Expression):
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _BIN_OPS:
+            raise ValueError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+        self._fn = _BIN_OPS[op]
+
+    def children(self) -> list[Expression]:
+        return [self.left, self.right]
+
+    def with_children(self, children: list[Expression]) -> "BinaryOp":
+        return BinaryOp(self.op, children[0], children[1])
+
+    def eval(self, row: tuple) -> Any:
+        return self._fn(self.left.eval(row), self.right.eval(row))
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        left = self.left.eval_vector(columns)
+        right = self.right.eval_vector(columns)
+        if self.op in ("=", "!=") and (_is_object(left) or _is_object(right)):
+            # Object (string) columns: numpy == works elementwise already.
+            return self._fn(np.asarray(left, dtype=object), right)
+        return self._fn(left, right)
+
+    def data_type(self, schema: Schema) -> DataType:
+        if self.op in _COMPARISONS:
+            return BOOLEAN
+        lt = self.left.data_type(schema)
+        rt = self.right.data_type(schema)
+        if isinstance(lt, DoubleType) or isinstance(rt, DoubleType) or self.op == "/":
+            return DOUBLE
+        return LONG
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _is_object(x: Any) -> bool:
+    return isinstance(x, np.ndarray) and x.dtype == object
+
+
+class And(Expression):
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> list[Expression]:
+        return [self.left, self.right]
+
+    def with_children(self, children: list[Expression]) -> "And":
+        return And(children[0], children[1])
+
+    def eval(self, row: tuple) -> bool:
+        return bool(self.left.eval(row)) and bool(self.right.eval(row))
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_and(self.left.eval_vector(columns), self.right.eval_vector(columns))
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class Or(Expression):
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> list[Expression]:
+        return [self.left, self.right]
+
+    def with_children(self, children: list[Expression]) -> "Or":
+        return Or(children[0], children[1])
+
+    def eval(self, row: tuple) -> bool:
+        return bool(self.left.eval(row)) or bool(self.right.eval(row))
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_or(self.left.eval_vector(columns), self.right.eval_vector(columns))
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class Not(Expression):
+    def __init__(self, child: Expression) -> None:
+        self.child = child
+
+    def children(self) -> list[Expression]:
+        return [self.child]
+
+    def with_children(self, children: list[Expression]) -> "Not":
+        return Not(children[0])
+
+    def eval(self, row: tuple) -> bool:
+        return not self.child.eval(row)
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_not(self.child.eval_vector(columns))
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+class In(Expression):
+    def __init__(self, child: Expression, values: list[Expression]) -> None:
+        self.child = child
+        self.values = values
+        self._set = {v.value for v in values if isinstance(v, Literal)}
+
+    def children(self) -> list[Expression]:
+        return [self.child, *self.values]
+
+    def with_children(self, children: list[Expression]) -> "In":
+        return In(children[0], list(children[1:]))
+
+    def eval(self, row: tuple) -> bool:
+        return self.child.eval(row) in self._set
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.isin(self.child.eval_vector(columns), list(self._set))
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} IN {sorted(map(repr, self._set))})"
+
+
+class IsNull(Expression):
+    def __init__(self, child: Expression, negated: bool = False) -> None:
+        self.child = child
+        self.negated = negated
+
+    def children(self) -> list[Expression]:
+        return [self.child]
+
+    def with_children(self, children: list[Expression]) -> "IsNull":
+        return IsNull(children[0], self.negated)
+
+    def eval(self, row: tuple) -> bool:
+        res = self.child.eval(row) is None
+        return not res if self.negated else res
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        vals = self.child.eval_vector(columns)
+        if vals.dtype == object:
+            res = np.fromiter((v is None for v in vals), dtype=bool, count=len(vals))
+        else:
+            res = np.zeros(len(vals), dtype=bool)
+        return ~res if self.negated else res
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} IS {'NOT ' if self.negated else ''}NULL)"
+
+
+class Alias(Expression):
+    def __init__(self, child: Expression, name: str) -> None:
+        self.child = child
+        self.name = name
+
+    def children(self) -> list[Expression]:
+        return [self.child]
+
+    def with_children(self, children: list[Expression]) -> "Alias":
+        return Alias(children[0], self.name)
+
+    def eval(self, row: tuple) -> Any:
+        return self.child.eval(row)
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return self.child.eval_vector(columns)
+
+    def data_type(self, schema: Schema) -> DataType:
+        return self.child.data_type(schema)
+
+    def output_name(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{self.child!r} AS {self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+class AggregateExpression(Expression):
+    """Base aggregate: init/update/merge/finish over scalar accumulators."""
+
+    name = "agg"
+
+    def __init__(self, child: Expression | None) -> None:
+        self.child = child
+
+    def children(self) -> list[Expression]:
+        return [self.child] if self.child is not None else []
+
+    def with_children(self, children: list[Expression]) -> "AggregateExpression":
+        return type(self)(children[0] if children else None)
+
+    def init(self) -> Any:
+        raise NotImplementedError
+
+    def update(self, acc: Any, row: tuple) -> Any:
+        raise NotImplementedError
+
+    def merge(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def finish(self, acc: Any) -> Any:
+        return acc
+
+    def output_name(self) -> str:
+        child = self.child.output_name() if self.child is not None else "*"
+        return f"{self.name}({child})"
+
+    def __repr__(self) -> str:
+        return self.output_name()
+
+
+class Sum(AggregateExpression):
+    name = "sum"
+
+    def init(self) -> Any:
+        return 0
+
+    def update(self, acc: Any, row: tuple) -> Any:
+        v = self.child.eval(row)
+        return acc if v is None else acc + v
+
+    def merge(self, a: Any, b: Any) -> Any:
+        return a + b
+
+    def data_type(self, schema: Schema) -> DataType:
+        return self.child.data_type(schema)
+
+
+class Count(AggregateExpression):
+    name = "count"
+
+    def init(self) -> int:
+        return 0
+
+    def update(self, acc: int, row: tuple) -> int:
+        if self.child is None:
+            return acc + 1
+        return acc + (self.child.eval(row) is not None)
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+    def data_type(self, schema: Schema) -> DataType:
+        return LONG
+
+
+class Min(AggregateExpression):
+    name = "min"
+
+    def init(self) -> Any:
+        return None
+
+    def update(self, acc: Any, row: tuple) -> Any:
+        v = self.child.eval(row)
+        if v is None:
+            return acc
+        return v if acc is None or v < acc else acc
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+
+    def data_type(self, schema: Schema) -> DataType:
+        return self.child.data_type(schema)
+
+
+class Max(AggregateExpression):
+    name = "max"
+
+    def init(self) -> Any:
+        return None
+
+    def update(self, acc: Any, row: tuple) -> Any:
+        v = self.child.eval(row)
+        if v is None:
+            return acc
+        return v if acc is None or v > acc else acc
+
+    def merge(self, a: Any, b: Any) -> Any:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+
+    def data_type(self, schema: Schema) -> DataType:
+        return self.child.data_type(schema)
+
+
+class Avg(AggregateExpression):
+    name = "avg"
+
+    def init(self) -> tuple[float, int]:
+        return (0.0, 0)
+
+    def update(self, acc: tuple[float, int], row: tuple) -> tuple[float, int]:
+        v = self.child.eval(row)
+        if v is None:
+            return acc
+        return (acc[0] + v, acc[1] + 1)
+
+    def merge(self, a: tuple[float, int], b: tuple[float, int]) -> tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finish(self, acc: tuple[float, int]) -> float | None:
+        return acc[0] / acc[1] if acc[1] else None
+
+    def data_type(self, schema: Schema) -> DataType:
+        return DOUBLE
+
+
+def split_conjuncts(expr: Expression) -> list[Expression]:
+    """Flatten nested ANDs into a conjunct list (for predicate pushdown)."""
+    if isinstance(expr, And):
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def combine_conjuncts(exprs: Iterable[Expression]) -> Expression | None:
+    result: Expression | None = None
+    for e in exprs:
+        result = e if result is None else And(result, e)
+    return result

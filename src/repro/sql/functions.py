@@ -1,0 +1,53 @@
+"""User-facing expression constructors (``from repro.sql import col, lit...``)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sql.expressions import (
+    Avg,
+    Column,
+    Count,
+    Expression,
+    Literal,
+    Max,
+    Min,
+    Sum,
+)
+
+
+def col(name: str) -> Column:
+    """Reference a column by name."""
+    return Column(name)
+
+
+def lit(value: Any) -> Literal:
+    """A literal constant."""
+    return Literal(value)
+
+
+def sum_(expr: "Expression | str") -> Sum:
+    return Sum(_as_expr(expr))
+
+
+def count(expr: "Expression | str | None" = None) -> Count:
+    # isinstance check first: Expression.__eq__ builds a (truthy) BinaryOp.
+    if expr is None or (isinstance(expr, str) and expr == "*"):
+        return Count(None)
+    return Count(_as_expr(expr))
+
+
+def min_(expr: "Expression | str") -> Min:
+    return Min(_as_expr(expr))
+
+
+def max_(expr: "Expression | str") -> Max:
+    return Max(_as_expr(expr))
+
+
+def avg(expr: "Expression | str") -> Avg:
+    return Avg(_as_expr(expr))
+
+
+def _as_expr(expr: "Expression | str") -> Expression:
+    return Column(expr) if isinstance(expr, str) else expr

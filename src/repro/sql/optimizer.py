@@ -1,0 +1,158 @@
+"""Rule-based logical optimizer (the Catalyst optimizer analogue).
+
+Built-in rules: constant folding, filter combination, predicate pushdown
+through projects and joins. The crucial extension point is
+``extra_rules`` — a list of callables ``rule(plan) -> plan | None`` applied
+in the same fixed-point loop as the built-ins. The Indexed DataFrame
+library injects its rules there (Section III-B: "we use the extensibility
+of Catalyst to add index-aware optimization rules"), without this module
+knowing anything about indexes.
+
+Rules may leave expressions unresolved (name-based); the Session re-runs
+the Analyzer after optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sql.expressions import (
+    BinaryOp,
+    Column,
+    Expression,
+    Literal,
+    combine_conjuncts,
+    split_conjuncts,
+)
+from repro.sql.logical import Filter, Join, LogicalPlan, Project
+
+Rule = Callable[[LogicalPlan], "LogicalPlan | None"]
+
+
+def constant_folding(plan: LogicalPlan) -> LogicalPlan | None:
+    """Evaluate literal-only subexpressions at plan time."""
+
+    def fold(e: Expression) -> Expression | None:
+        if isinstance(e, BinaryOp) and isinstance(e.left, Literal) and isinstance(e.right, Literal):
+            return Literal(e.eval(()))
+        return None
+
+    if isinstance(plan, Filter):
+        return Filter(plan.condition.transform(fold), plan.child)
+    if isinstance(plan, Project):
+        return Project([e.transform(fold) for e in plan.exprs], plan.child)
+    return None
+
+
+def combine_filters(plan: LogicalPlan) -> LogicalPlan | None:
+    """Filter(a, Filter(b, c)) -> Filter(a AND b, c)."""
+    if isinstance(plan, Filter) and isinstance(plan.child, Filter):
+        inner = plan.child
+        combined = combine_conjuncts([plan.condition, inner.condition])
+        assert combined is not None
+        return Filter(combined, inner.child)
+    return None
+
+
+def _passthrough_names(project: Project) -> dict[str, str]:
+    """Output name -> input column name, for simple passthrough/renamed columns."""
+    out: dict[str, str] = {}
+    for e in project.exprs:
+        if isinstance(e, Column):
+            out[e.output_name()] = e.name
+    return out
+
+
+def push_filter_through_project(plan: LogicalPlan) -> LogicalPlan | None:
+    """Filter(Project(...)) -> Project(Filter(...)) when references pass through."""
+    if not (isinstance(plan, Filter) and isinstance(plan.child, Project)):
+        return None
+    project = plan.child
+    passthrough = _passthrough_names(project)
+    refs = plan.condition.references()
+    if not refs <= set(passthrough):
+        return None
+
+    def remap(e: Expression) -> Expression | None:
+        if isinstance(e, Column):
+            return Column(passthrough[e.name])
+        return None
+
+    pushed = Filter(plan.condition.transform(remap), project.child)
+    return Project(project.exprs, pushed)
+
+
+def push_filter_through_join(plan: LogicalPlan) -> LogicalPlan | None:
+    """Send conjuncts that reference only one join side below the join."""
+    if not (isinstance(plan, Filter) and isinstance(plan.child, Join)):
+        return None
+    join = plan.child
+    left_names = set(join.left.schema.names())
+    right_names = set(join.right.schema.names())
+    left_pushed: list[Expression] = []
+    right_pushed: list[Expression] = []
+    kept: list[Expression] = []
+    for conjunct in split_conjuncts(plan.condition):
+        refs = conjunct.references()
+        if refs and refs <= left_names:
+            left_pushed.append(conjunct)
+        elif refs and refs <= right_names and not (refs & left_names):
+            # Right-side columns keep their names only when not shadowed by
+            # the left side (join output renames duplicates).
+            right_pushed.append(conjunct)
+        else:
+            kept.append(conjunct)
+    if not left_pushed and not right_pushed:
+        return None
+    new_left = join.left
+    if left_pushed:
+        new_left = Filter(combine_conjuncts(left_pushed), new_left)
+    new_right = join.right
+    if right_pushed:
+        new_right = Filter(combine_conjuncts(right_pushed), new_right)
+    new_join = Join(new_left, new_right, join.left_keys, join.right_keys, join.how, join.residual)
+    remaining = combine_conjuncts(kept)
+    return Filter(remaining, new_join) if remaining is not None else new_join
+
+
+DEFAULT_RULES: list[Rule] = [
+    constant_folding,
+    combine_filters,
+    push_filter_through_project,
+    push_filter_through_join,
+]
+
+
+class Optimizer:
+    """Applies rules to a fixed point (bounded iterations)."""
+
+    def __init__(self, extra_rules: list[Rule] | None = None, max_iterations: int = 10) -> None:
+        self.extra_rules = extra_rules if extra_rules is not None else []
+        self.max_iterations = max_iterations
+
+    @property
+    def rules(self) -> list[Rule]:
+        # Extension rules run first so they can claim patterns (e.g. an
+        # indexed lookup) before generic rules rewrite them.
+        return [*self.extra_rules, *DEFAULT_RULES]
+
+    def optimize(self, plan: LogicalPlan) -> LogicalPlan:
+        current = plan
+        for _ in range(self.max_iterations):
+            changed = False
+            for rule in self.rules:
+                def apply(node: LogicalPlan, rule: Rule = rule) -> LogicalPlan | None:
+                    return rule(node)
+
+                new_plan = current.transform_up(apply)
+                if new_plan is not current:
+                    if repr_tree(new_plan) != repr_tree(current):
+                        changed = True
+                    current = new_plan
+            if not changed:
+                break
+        return current
+
+
+def repr_tree(plan: LogicalPlan) -> str:
+    return plan.tree_string()

@@ -1,0 +1,357 @@
+"""A small SQL parser (tokenizer + recursive descent) -> logical plans.
+
+Supports the query shapes of the paper's workloads (Table II): projections,
+equality/range predicates, equi-joins, grouped aggregation, ordering and
+limits::
+
+    SELECT f.flight_num, p.model
+    FROM flights f JOIN planes p ON f.tail_num = p.tail_num
+    WHERE f.flight_num < 200
+    GROUP BY ... ORDER BY ... LIMIT n
+
+Column qualifiers (``f.col``) are accepted and stripped: relations in one
+query must have distinct column names (the workload generators comply).
+"""
+
+from __future__ import annotations
+
+import re
+from repro.sql.catalog import Catalog
+from repro.sql.expressions import (
+    AggregateExpression,
+    Alias,
+    And,
+    Avg,
+    BinaryOp,
+    Column,
+    Count,
+    Expression,
+    In,
+    IsNull,
+    Literal,
+    Max,
+    Min,
+    Not,
+    Or,
+    Sum,
+    split_conjuncts,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Sort,
+)
+
+
+class SQLParseError(Exception):
+    pass
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "limit", "join",
+    "inner", "left", "on", "as", "and", "or", "not", "in", "is", "null",
+    "asc", "desc", "having", "distinct",
+}
+
+_AGGREGATES = {"sum": Sum, "count": Count, "min": Min, "max": Max, "avg": Avg}
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SQLParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        value = m.group()
+        if kind == "ident" and value.lower() in _KEYWORDS:
+            tokens.append(("kw", value.lower()))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, catalog: Catalog) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.catalog = catalog
+
+    # -- token helpers ------------------------------------------------------------
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise SQLParseError(f"expected {value or kind}, got {v!r}")
+        return v
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse_query(self) -> LogicalPlan:
+        self.expect("kw", "select")
+        distinct = self.accept("kw", "distinct")
+        select_items = self.parse_select_list()
+        self.expect("kw", "from")
+        plan = self.parse_table_ref()
+        while self.peek() == ("kw", "join") or self.peek() in (("kw", "inner"), ("kw", "left")):
+            how = "inner"
+            if self.accept("kw", "left"):
+                how = "left"
+            else:
+                self.accept("kw", "inner")
+            self.expect("kw", "join")
+            right = self.parse_table_ref()
+            self.expect("kw", "on")
+            cond = self.parse_expr()
+            plan = self._build_join(plan, right, cond, how)
+        if self.accept("kw", "where"):
+            plan = Filter(self.parse_expr(), plan)
+        group_exprs: list[Expression] | None = None
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            group_exprs = [self.parse_expr()]
+            while self.accept("op", ","):
+                group_exprs.append(self.parse_expr())
+        plan = self._apply_select(plan, select_items, group_exprs)
+        if distinct:
+            plan = Aggregate([Column(n) for n in plan.schema.names()], [], plan)
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            keys: list[tuple[Expression, bool]] = []
+            while True:
+                e = self.parse_expr()
+                asc = True
+                if self.accept("kw", "desc"):
+                    asc = False
+                else:
+                    self.accept("kw", "asc")
+                keys.append((e, asc))
+                if not self.accept("op", ","):
+                    break
+            plan = Sort(keys, plan)
+        if self.accept("kw", "limit"):
+            n = int(self.expect("number"))
+            plan = Limit(n, plan)
+        self.expect("eof")
+        return plan
+
+    def parse_select_list(self) -> "list[Expression] | None":
+        if self.accept("op", "*"):
+            return None  # SELECT *
+        items = [self.parse_select_item()]
+        while self.accept("op", ","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> Expression:
+        e = self.parse_expr()
+        if self.accept("kw", "as"):
+            return Alias(e, self.expect("ident"))
+        return e
+
+    def parse_table_ref(self) -> LogicalPlan:
+        name = self.expect("ident")
+        plan = self.catalog.lookup(name)
+        # Optional alias (ignored: qualifiers are stripped from columns).
+        if self.accept("kw", "as"):
+            self.expect("ident")
+        elif self.peek()[0] == "ident":
+            self.next()
+        return plan
+
+    def _build_join(
+        self, left: LogicalPlan, right: LogicalPlan, cond: Expression, how: str
+    ) -> LogicalPlan:
+        left_names = set(left.schema.names())
+        right_names = set(right.schema.names())
+        lks: list[Expression] = []
+        rks: list[Expression] = []
+        residual: Expression | None = None
+        for conj in split_conjuncts(cond):
+            handled = False
+            if isinstance(conj, BinaryOp) and conj.op == "=":
+                a, b = conj.left, conj.right
+                if isinstance(a, Column) and isinstance(b, Column):
+                    if a.name in left_names and b.name in right_names:
+                        lks.append(Column(a.name))
+                        rks.append(Column(b.name))
+                        handled = True
+                    elif b.name in left_names and a.name in right_names:
+                        lks.append(Column(b.name))
+                        rks.append(Column(a.name))
+                        handled = True
+            if not handled:
+                residual = conj if residual is None else And(residual, conj)
+        if not lks:
+            raise SQLParseError("JOIN ... ON requires at least one equality between sides")
+        return Join(left, right, lks, rks, how, residual)
+
+    def _apply_select(
+        self,
+        plan: LogicalPlan,
+        items: "list[Expression] | None",
+        group_exprs: "list[Expression] | None",
+    ) -> LogicalPlan:
+        if items is None:  # SELECT *
+            if group_exprs is not None:
+                raise SQLParseError("SELECT * with GROUP BY is not supported")
+            return plan
+
+        def has_agg(e: Expression) -> bool:
+            if isinstance(e, AggregateExpression):
+                return True
+            return any(has_agg(c) for c in e.children())
+
+        aggs = [e for e in items if has_agg(e)]
+        if group_exprs is not None or aggs:
+            groups = group_exprs or []
+            non_agg = [e for e in items if not has_agg(e)]
+            # Non-aggregate items must be the grouping expressions.
+            group_reprs = {repr(g) for g in groups}
+            for e in non_agg:
+                inner = e.child if isinstance(e, Alias) else e
+                if repr(inner) not in group_reprs:
+                    raise SQLParseError(
+                        f"{inner!r} must appear in GROUP BY or inside an aggregate"
+                    )
+            return Aggregate(groups, aggs, plan)
+        return Project(items, plan)
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        e = self.parse_and()
+        while self.accept("kw", "or"):
+            e = Or(e, self.parse_and())
+        return e
+
+    def parse_and(self) -> Expression:
+        e = self.parse_not()
+        while self.accept("kw", "and"):
+            e = And(e, self.parse_not())
+        return e
+
+    def parse_not(self) -> Expression:
+        if self.accept("kw", "not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        e = self.parse_additive()
+        k, v = self.peek()
+        if k == "op" and v in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.next()
+            op = "!=" if v == "<>" else v
+            return BinaryOp(op, e, self.parse_additive())
+        if self.accept("kw", "in"):
+            self.expect("op", "(")
+            values = [self.parse_additive()]
+            while self.accept("op", ","):
+                values.append(self.parse_additive())
+            self.expect("op", ")")
+            return In(e, values)
+        if self.accept("kw", "is"):
+            negated = self.accept("kw", "not")
+            self.expect("kw", "null")
+            return IsNull(e, negated)
+        return e
+
+    def parse_additive(self) -> Expression:
+        e = self.parse_multiplicative()
+        while True:
+            k, v = self.peek()
+            if k == "op" and v in ("+", "-"):
+                self.next()
+                e = BinaryOp(v, e, self.parse_multiplicative())
+            else:
+                return e
+
+    def parse_multiplicative(self) -> Expression:
+        e = self.parse_unary()
+        while True:
+            k, v = self.peek()
+            if k == "op" and v in ("*", "/", "%"):
+                self.next()
+                e = BinaryOp(v, e, self.parse_unary())
+            else:
+                return e
+
+    def parse_unary(self) -> Expression:
+        if self.accept("op", "-"):
+            return BinaryOp("-", Literal(0), self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        k, v = self.next()
+        if k == "number":
+            return Literal(float(v) if "." in v else int(v))
+        if k == "string":
+            return Literal(v[1:-1].replace("''", "'"))
+        if k == "kw" and v == "null":
+            return Literal(None)
+        if k == "op" and v == "(":
+            e = self.parse_expr()
+            self.expect("op", ")")
+            return e
+        if k == "ident":
+            name = v
+            lower = name.lower()
+            if lower in _AGGREGATES and self.peek() == ("op", "("):
+                self.next()
+                cls = _AGGREGATES[lower]
+                if self.accept("op", "*"):
+                    self.expect("op", ")")
+                    if cls is not Count:
+                        raise SQLParseError(f"{lower}(*) is only valid for count")
+                    return Count(None)
+                arg = self.parse_expr()
+                self.expect("op", ")")
+                return cls(arg)
+            if self.accept("op", "."):
+                # Qualified column: strip the qualifier.
+                name = self.expect("ident")
+            return Column(name)
+        raise SQLParseError(f"unexpected token {v!r}")
+
+
+def parse_query(text: str, catalog: Catalog) -> LogicalPlan:
+    """Parse ``text`` into an (unresolved) logical plan."""
+    return _Parser(text, catalog).parse_query()

@@ -1,0 +1,78 @@
+"""Session: the SparkSession analogue and the library-extension surface.
+
+A Session owns one :class:`~repro.engine.context.EngineContext` plus the
+query pipeline (analyze -> optimize -> re-analyze -> plan -> execute). Two
+lists make it extensible without modification, mirroring Spark's
+``experimental.extraOptimizations`` / ``extraStrategies`` that the paper's
+library uses:
+
+* ``extra_rules`` — logical rewrite rules, run before built-in rules,
+* ``extra_strategies`` — physical planning strategies, consulted first.
+
+``session.phase_timer`` accumulates named phase times (hash-build,
+broadcast, probe, shuffle...) across query executions; Fig. 1's breakdown
+reads it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import Config
+from repro.engine.context import EngineContext
+from repro.sql.analysis import Analyzer
+from repro.sql.catalog import Catalog
+from repro.sql.logical import LogicalPlan, Relation
+from repro.sql.optimizer import Optimizer, Rule
+from repro.sql.physical import PhysicalPlan
+from repro.sql.planner import Planner, Strategy
+from repro.sql.types import Schema
+from repro.utils.timing import PhaseTimer
+
+
+class Session:
+    def __init__(self, context: EngineContext | None = None, config: Config | None = None) -> None:
+        self.context = context or EngineContext(config=config)
+        self.catalog = Catalog()
+        self.analyzer = Analyzer()
+        self.extra_rules: list[Rule] = []
+        self.extra_strategies: list[Strategy] = []
+        self.phase_timer = PhaseTimer()
+
+    # -- DataFrame construction ------------------------------------------------
+
+    def create_dataframe(
+        self,
+        rows: Sequence[tuple],
+        schema: Schema,
+        name: str = "df",
+        num_partitions: int | None = None,
+    ) -> "DataFrame":
+        """Create a DataFrame over driver-side rows."""
+        from repro.sql.dataframe import DataFrame
+
+        relation = Relation(name, schema, rows=list(rows), num_partitions=num_partitions)
+        return DataFrame(self, relation)
+
+    def table(self, name: str) -> "DataFrame":
+        from repro.sql.dataframe import DataFrame
+
+        return DataFrame(self, self.catalog.lookup(name))
+
+    def sql(self, text: str) -> "DataFrame":
+        """Parse and plan a SQL query against registered temp views."""
+        from repro.sql.dataframe import DataFrame
+        from repro.sql.parser import parse_query
+
+        return DataFrame(self, parse_query(text, self.catalog))
+
+    # -- the query pipeline (Fig. 2) ---------------------------------------------
+
+    def plan_physical(self, logical: LogicalPlan) -> PhysicalPlan:
+        analyzed = self.analyzer.analyze(logical)
+        optimized = Optimizer(self.extra_rules).optimize(analyzed)
+        reanalyzed = self.analyzer.analyze(optimized)
+        return Planner(self).plan(reanalyzed)
+
+    def execute(self, logical: LogicalPlan) -> list[tuple]:
+        return self.plan_physical(logical).execute().collect()

@@ -1,0 +1,164 @@
+"""SQL data types and schemas.
+
+Types matter to the Indexed DataFrame for two reasons: the index recommends
+*primitive* key columns (paper Section III-A), and string keys must be
+hashed to 32-bit ints before entering the cTrie (Section IV-E), which is why
+Fig. 15 shows smaller speedups on string keys. The row codec
+(:mod:`repro.indexed.row_codec`) also needs fixed encodings per type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+
+class DataType:
+    """Base of all SQL types; instances are stateless singletons."""
+
+    #: numpy dtype used by the columnar cache; object for var-length.
+    numpy_dtype: Any = object
+    #: True for fixed-width primitives the index handles natively.
+    primitive: bool = False
+
+    def validate(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+    def __repr__(self) -> str:
+        return type(self).__name__.replace("Type", "").upper()
+
+
+class IntegerType(DataType):
+    """32-bit signed integer."""
+
+    numpy_dtype = np.int64  # stored wide in columns; codec clamps to 4 bytes
+    primitive = True
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+class LongType(DataType):
+    """64-bit signed integer."""
+
+    numpy_dtype = np.int64
+    primitive = True
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+class DoubleType(DataType):
+    """64-bit IEEE float."""
+
+    numpy_dtype = np.float64
+    primitive = True
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (float, int, np.floating, np.integer)) and not isinstance(
+            value, bool
+        )
+
+
+class BooleanType(DataType):
+    numpy_dtype = np.bool_
+    primitive = True
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (bool, np.bool_))
+
+
+class StringType(DataType):
+    """Variable-length UTF-8 string (non-primitive: hashed before indexing)."""
+
+    numpy_dtype = object
+    primitive = False
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+
+INTEGER = IntegerType()
+LONG = LongType()
+DOUBLE = DoubleType()
+BOOLEAN = BooleanType()
+STRING = StringType()
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.dtype!r}"
+
+
+class Schema:
+    """Ordered collection of fields with O(1) name lookup."""
+
+    def __init__(self, fields: Iterable[StructField]) -> None:
+        self.fields: tuple[StructField, ...] = tuple(fields)
+        self._index: dict[str, int] = {}
+        for i, f in enumerate(self.fields):
+            if f.name in self._index:
+                raise ValueError(f"duplicate column name {f.name!r}")
+            self._index[f.name] = i
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        return cls(StructField(n, t) for n, t in pairs)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"column {name!r} not found; available: {list(self._index)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def field(self, name: str) -> StructField:
+        return self.fields[self.index_of(name)]
+
+    def names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def types(self) -> list[DataType]:
+        return [f.dtype for f in self.fields]
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        return Schema(self.field(n) for n in names)
+
+    def concat(self, other: "Schema", suffix: str = "_r") -> "Schema":
+        """Join output schema; right-side duplicates get ``suffix``."""
+        fields = list(self.fields)
+        for f in other.fields:
+            name = f.name
+            while name in self._index or name in {x.name for x in fields}:
+                name = name + suffix
+            fields.append(StructField(name, f.dtype, f.nullable))
+        return Schema(fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[StructField]:
+        return iter(self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(repr(f) for f in self.fields) + ")"

@@ -1,0 +1,17 @@
+"""Shared low-level utilities: atomics, hashing, memory metering, timing."""
+
+from repro.utils.atomic import AtomicLong, AtomicReference
+from repro.utils.hashing import hash32, hash64, hash_column, partition_for
+from repro.utils.memory import deep_sizeof
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "AtomicLong",
+    "AtomicReference",
+    "Stopwatch",
+    "deep_sizeof",
+    "hash32",
+    "hash64",
+    "hash_column",
+    "partition_for",
+]

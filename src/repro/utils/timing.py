@@ -1,0 +1,66 @@
+"""Timing helpers shared by the engine metrics and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Stopwatch:
+    """Accumulating stopwatch; ``with sw: ...`` adds the block's wall time."""
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Named phase accumulator: used for Fig. 1 style time breakdowns."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + time.perf_counter() - t0
+
+    def add(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, seconds in other.phases.items():
+            self.add(name, seconds)

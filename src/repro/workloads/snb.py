@@ -1,0 +1,218 @@
+"""LDBC Social Network Benchmark (SNB) shaped data + short-read queries.
+
+The paper uses the SNB ``edge`` and ``vertex`` tables (SF-1000's 1B-row
+edge table for scalability/joins, SF-300 for the SQ1-SQ7 short reads of
+Fig. 13). We generate the same *shape*: a power-law ``knows`` graph whose
+edge table is indexed on ``edge_source`` (Table II) plus a ``person``
+vertex table, scaled by ``scale_factor`` = thousands of edges.
+
+SQ1-SQ7 adapt the LDBC interactive short reads to the two tables:
+
+====  =============================================================  =======
+id    description                                                    index?
+====  =============================================================  =======
+SQ1   person profile by id (point lookup on vertices*)               yes
+SQ2   a person's most recent edges (lookup + sort + limit)           yes
+SQ3   friends of a person with profile (lookup + join on vertices)   yes
+SQ4   edge attributes for one person (lookup + projection)           yes
+SQ5   average edge weight over *all* edges (full-scan aggregation)   no
+SQ6   projection of two columns over all edges (full scan)           no
+SQ7   friends-of-friends (lookup + indexed self-join)                yes
+====  =============================================================  =======
+
+SQ5/SQ6 deliberately cannot use the index — they reproduce Fig. 13's
+finding that projection/scan-heavy queries run *slower* on the row-wise
+indexed representation than on the columnar baseline cache.
+
+(*) The edge table carries the index; SQ1 uses an edge_source lookup plus a
+vertex probe, matching "the index column" of Table II (edge_source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.sql.types import DOUBLE, LONG, STRING, Schema
+from repro.workloads.zipf import zipf_sample
+
+EDGE_SCHEMA = Schema.of(
+    ("edge_source", LONG),
+    ("edge_dest", LONG),
+    ("creation_date", LONG),
+    ("weight", DOUBLE),
+)
+
+PERSON_SCHEMA = Schema.of(
+    ("person_id", LONG),
+    ("first_name", STRING),
+    ("last_name", STRING),
+    ("city_id", LONG),
+    ("birthday", LONG),
+)
+
+_FIRST = ("Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Hugo", "Ivy", "Jan")
+_LAST = ("Smith", "Lee", "Garcia", "Chen", "Kumar", "Novak", "Okafor", "Silva")
+
+
+def num_edges(scale_factor: int) -> int:
+    """SF -> edge count (1 SF = 1000 edges at laptop scale)."""
+    return scale_factor * 1000
+
+
+def num_persons(scale_factor: int) -> int:
+    """Roughly 10 edges per person, as in social graphs."""
+    return max(10, scale_factor * 100)
+
+
+def generate_snb_persons(scale_factor: int, seed: int = 11) -> list[tuple]:
+    """The vertex table: (person_id, first_name, last_name, city_id, birthday)."""
+    rng = np.random.default_rng(seed)
+    n = num_persons(scale_factor)
+    cities = rng.integers(0, max(2, n // 50), size=n)
+    birthdays = rng.integers(100_000, 900_000, size=n)
+    return [
+        (
+            int(i),
+            _FIRST[i % len(_FIRST)],
+            _LAST[i % len(_LAST)],
+            int(cities[i]),
+            int(birthdays[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def generate_snb_edges(
+    scale_factor: int,
+    seed: int = 13,
+    alpha: float = 1.1,
+    n_persons: int | None = None,
+) -> list[tuple]:
+    """The edge ("knows") table with power-law out-degrees.
+
+    ``n_persons`` overrides the default person count; benchmarks matching
+    Table III's result-size ratios use ``n_edges // 100`` so the average
+    out-degree is ~100, as in the paper's SF-1000 graph (10M probes over a
+    1B-row table yield a 1B-row result: ~100 matches per probe key).
+    """
+    rng = np.random.default_rng(seed)
+    n_edges = num_edges(scale_factor)
+    n_pers = n_persons if n_persons is not None else num_persons(scale_factor)
+    sources = zipf_sample(n_pers, n_edges, alpha=alpha, seed=seed)
+    dests = rng.integers(0, n_pers, size=n_edges)
+    dates = rng.integers(1_000_000, 2_000_000, size=n_edges)
+    weights = rng.random(n_edges)
+    return list(
+        zip(
+            sources.tolist(),
+            dests.tolist(),
+            dates.tolist(),
+            np.round(weights, 6).tolist(),
+        )
+    )
+
+
+def sample_probe_keys(edges: list[tuple], size: int, seed: int = 17) -> list[int]:
+    """Sample probe keys uniformly over the *distinct* edge_source values.
+
+    Uniform-over-keys (not over rows) keeps the probe:result ratios of
+    Table III: with ~10 edges per person, probes of 10^-4..10^-1 of the
+    build side produce results of ~0.1%..100% of it — the same bands as the
+    paper's S..XL rows. Row-weighted sampling would oversample power-law
+    hubs and blow the result far past the table size.
+    """
+    rng = np.random.default_rng(seed)
+    distinct = sorted({r[0] for r in edges})
+    idx = rng.integers(0, len(distinct), size=size)
+    return [distinct[i] for i in idx]
+
+
+# ---------------------------------------------------------------------------
+# SQ1-SQ7 (Fig. 13)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShortQuery:
+    """One SNB short-read query: builds a DataFrame from registered views.
+
+    ``uses_index``: whether the access pattern can exploit the edge index
+    (the paper finds SQ5/SQ6 cannot, and they regress on the row-wise
+    format).
+    """
+
+    name: str
+    description: str
+    uses_index: bool
+    sql: Callable[[Any], str]  # person_id -> SQL text
+
+
+def short_queries(edges_view: str = "edges", persons_view: str = "persons") -> list[ShortQuery]:
+    """The SQ1-SQ7 suite, parameterized by a person id at run time.
+
+    Views: ``edges_view`` is the (indexed or cached) edge table,
+    ``persons_view`` the vertex table.
+    """
+    e, p = edges_view, persons_view
+    return [
+        ShortQuery(
+            "SQ1",
+            "person profile via an edge lookup",
+            True,
+            lambda pid: (
+                f"SELECT person_id, first_name, last_name, city_id FROM {e} "
+                f"JOIN {p} ON edge_dest = person_id WHERE edge_source = {pid}"
+            ),
+        ),
+        ShortQuery(
+            "SQ2",
+            "a person's 10 most recent edges",
+            True,
+            lambda pid: (
+                f"SELECT edge_dest, creation_date FROM {e} "
+                f"WHERE edge_source = {pid} ORDER BY creation_date DESC LIMIT 10"
+            ),
+        ),
+        ShortQuery(
+            "SQ3",
+            "friends of a person with creation date",
+            True,
+            lambda pid: (
+                f"SELECT person_id, first_name, last_name, creation_date FROM {e} "
+                f"JOIN {p} ON edge_dest = person_id "
+                f"WHERE edge_source = {pid} ORDER BY creation_date DESC"
+            ),
+        ),
+        ShortQuery(
+            "SQ4",
+            "edge attributes for one person",
+            True,
+            lambda pid: f"SELECT creation_date, weight FROM {e} WHERE edge_source = {pid}",
+        ),
+        ShortQuery(
+            "SQ5",
+            "global average edge weight (full-scan aggregation; no index use)",
+            False,
+            lambda pid: f"SELECT avg(weight) AS w FROM {e}",
+        ),
+        ShortQuery(
+            "SQ6",
+            "two-column projection over all edges (full scan; no index use)",
+            False,
+            lambda pid: f"SELECT edge_dest, creation_date FROM {e} WHERE creation_date > 0",
+        ),
+        ShortQuery(
+            "SQ7",
+            "friends-of-friends (lookup + self-join on the index)",
+            True,
+            # Self-join: the right side's duplicate columns get the "_r"
+            # suffix (qualifiers are stripped by the parser).
+            lambda pid: (
+                f"SELECT edge_dest_r AS fof FROM {e} a JOIN {e} b "
+                f"ON a.edge_dest = b.edge_source WHERE a.edge_source = {pid}"
+            ),
+        ),
+    ]

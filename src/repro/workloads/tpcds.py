@@ -1,0 +1,92 @@
+"""TPC-DS shaped tables for the Fig. 14 join experiment.
+
+The paper joins ``store_sales`` with ``date_dim`` on ``ss_sold_date_sk``
+(Table II) at scale factors 1..1000, finding the indexed speedup *grows*
+with the dataset because the index filters ever more data. We generate the
+same shape: a fact table whose size scales linearly with SF and a small
+dimension table whose size stays fixed (one row per calendar day), with a
+selective filter on the dimension side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.types import DOUBLE, LONG, STRING, Schema
+
+STORE_SALES_SCHEMA = Schema.of(
+    ("ss_sold_date_sk", LONG),
+    ("ss_item_sk", LONG),
+    ("ss_customer_sk", LONG),
+    ("ss_store_sk", LONG),
+    ("ss_quantity", LONG),
+    ("ss_sales_price", DOUBLE),
+    ("ss_net_profit", DOUBLE),
+)
+
+DATE_DIM_SCHEMA = Schema.of(
+    ("d_date_sk", LONG),
+    ("d_year", LONG),
+    ("d_moy", LONG),
+    ("d_dom", LONG),
+    ("d_day_name", STRING),
+)
+
+#: The dimension covers 5 years of days regardless of SF, like TPC-DS.
+NUM_DATES = 5 * 365
+BASE_DATE_SK = 2_450_000
+_DAY_NAMES = ("Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday")
+
+
+def rows_for_scale_factor(scale_factor: int) -> int:
+    """SF -> fact rows (SF 1 = 1000 rows at laptop scale, linear like TPC-DS)."""
+    return scale_factor * 1000
+
+
+def generate_date_dim() -> list[tuple]:
+    rows = []
+    for i in range(NUM_DATES):
+        year = 1998 + i // 365
+        doy = i % 365
+        rows.append(
+            (
+                BASE_DATE_SK + i,
+                year,
+                1 + doy // 31,
+                1 + doy % 31,
+                _DAY_NAMES[i % 7],
+            )
+        )
+    return rows
+
+
+def generate_store_sales(scale_factor: int, seed: int = 23) -> list[tuple]:
+    rng = np.random.default_rng(seed)
+    n = rows_for_scale_factor(scale_factor)
+    dates = BASE_DATE_SK + rng.integers(0, NUM_DATES, size=n)
+    items = rng.integers(0, max(10, n // 20), size=n)
+    customers = rng.integers(0, max(10, n // 10), size=n)
+    stores = rng.integers(0, 50, size=n)
+    qty = rng.integers(1, 100, size=n)
+    price = np.round(rng.random(n) * 100.0, 2)
+    profit = np.round(rng.standard_normal(n) * 10.0, 2)
+    return list(
+        zip(
+            dates.tolist(),
+            items.tolist(),
+            customers.tolist(),
+            stores.tolist(),
+            qty.tolist(),
+            price.tolist(),
+            profit.tolist(),
+        )
+    )
+
+
+def join_sql(sales_view: str = "store_sales", dates_view: str = "date_dim", year: int = 2000) -> str:
+    """The Fig. 14 query: fact JOIN dim on the date key, dim filtered to one
+    year (so the index prunes ~4/5 of the fact table via lookup misses)."""
+    return (
+        f"SELECT ss_item_sk, ss_sales_price, d_year FROM {dates_view} "
+        f"JOIN {sales_view} ON d_date_sk = ss_sold_date_sk WHERE d_year = {year}"
+    )

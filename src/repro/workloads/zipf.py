@@ -1,0 +1,39 @@
+"""Bounded power-law (Zipf) sampling.
+
+Social graphs (SNB "mimics typical social network structure... power-law")
+and network logs are key-skewed; the generators share this helper. We use
+inverse-CDF sampling over a finite support so the key universe is bounded
+(numpy's ``random.zipf`` has unbounded support, which breaks partition-size
+reasoning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """P(k) proportional to 1/(k+1)^alpha over k in [0, n)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    n_values: int, size: int, alpha: float = 1.2, seed: int = 7, shuffle_ids: bool = True
+) -> np.ndarray:
+    """``size`` draws from a Zipf distribution over ``[0, n_values)``.
+
+    With ``shuffle_ids`` the rank-to-id mapping is permuted so hot keys are
+    spread across the id space (and therefore across hash partitions),
+    like real user ids.
+    """
+    rng = np.random.default_rng(seed)
+    probs = zipf_probabilities(n_values, alpha)
+    draws = rng.choice(n_values, size=size, p=probs)
+    if shuffle_ids:
+        perm = rng.permutation(n_values)
+        draws = perm[draws]
+    return draws

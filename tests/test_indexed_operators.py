@@ -1,0 +1,133 @@
+"""Indexed physical operators: broadcast prefiltering, left joins, scans."""
+
+import random
+
+import pytest
+
+from repro.config import Config
+from repro.sql.functions import col
+from repro.sql.session import Session
+from repro.sql.types import DOUBLE, LONG, Schema
+
+EDGE_SCHEMA = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+PROBE_SCHEMA = Schema.of(("k", LONG))
+
+
+def make_rows(n=400, keys=40, seed=8):
+    rng = random.Random(seed)
+    return [(rng.randrange(keys), rng.randrange(keys), round(rng.random(), 4)) for _ in range(n)]
+
+
+@pytest.fixture()
+def env():
+    session = Session(config=Config(default_parallelism=4, shuffle_partitions=4))
+    rows = make_rows()
+    df = session.create_dataframe(rows, EDGE_SCHEMA, "edges")
+    idf = df.create_index("src").cache_index()
+    return session, rows, idf
+
+
+class TestBroadcastPath:
+    def test_broadcast_join_prefilters_by_partition(self, env):
+        """The broadcast fallback buckets probe rows by the index's
+        partitioner, so each partition only probes keys it can own."""
+        session, rows, idf = env
+        probe = session.create_dataframe([(k,) for k in range(40)], PROBE_SCHEMA, "p")
+        # Small probe => broadcast path (default 10 MB threshold).
+        joined = probe.join(idf.to_df(), on=("k", "src"))
+        got = sorted(joined.collect_tuples())
+        want = sorted((r[0],) + r for r in rows)
+        assert got == want
+
+    def test_broadcast_accounts_network(self, env):
+        session, rows, idf = env
+        session.context.network.reset_counters()
+        probe = session.create_dataframe([(1,), (2,)], PROBE_SCHEMA, "p")
+        probe.join(idf.to_df(), on=("k", "src")).collect_tuples()
+        assert session.context.network.bytes_cross_machine > 0
+        assert "broadcast" in session.phase_timer.phases
+
+
+class TestLeftJoin:
+    def test_left_join_probe_preserved(self, env):
+        session, rows, idf = env
+        probe = session.create_dataframe(
+            [(1,), (2,), (99999,)], PROBE_SCHEMA, "p"
+        )
+        joined = probe.join(idf.to_df(), on=("k", "src"), how="left")
+        from repro.indexed.operators import IndexedJoinExec
+
+        physical = session.plan_physical(joined.plan)
+        assert isinstance(physical, IndexedJoinExec)
+        got = joined.collect_tuples()
+        matched = [t for t in got if t[0] != 99999]
+        unmatched = [t for t in got if t[0] == 99999]
+        assert unmatched == [(99999, None, None, None)]
+        want = sorted((k,) + r for k in (1, 2) for r in rows if r[0] == k)
+        assert sorted(matched) == want
+
+    def test_left_join_with_indexed_left_falls_back(self, env):
+        """A left-outer join preserving the indexed side cannot use the
+        lookup-based operator; it must fall back and stay correct."""
+        session, rows, idf = env
+        probe = session.create_dataframe([(1,)], PROBE_SCHEMA, "p")
+        joined = idf.to_df().join(probe, on=("src", "k"), how="left")
+        from repro.indexed.operators import IndexedJoinExec
+
+        physical = session.plan_physical(joined.plan)
+        assert not isinstance(physical, IndexedJoinExec)
+        got = joined.collect_tuples()
+        assert len(got) == len(rows)  # every indexed row preserved
+        assert all((t[3] == 1) == (t[0] == 1) for t in got)
+
+
+class TestIndexedJoinResidual:
+    def test_residual_via_sql(self, env):
+        session, rows, idf = env
+        idf.create_or_replace_temp_view("edges")
+        session.create_dataframe(
+            [(k,) for k in range(40)], PROBE_SCHEMA, "p"
+        ).create_or_replace_temp_view("p")
+        got = session.sql(
+            "SELECT k, dst FROM p JOIN edges ON k = src AND w > 0.5"
+        ).collect_tuples()
+        want = sorted((r[0], r[1]) for r in rows if r[2] > 0.5)
+        assert sorted(got) == want
+
+
+class TestIndexedScan:
+    def test_scan_preserves_partitioning(self, env):
+        session, _, idf = env
+        from repro.indexed.operators import IndexedScanExec
+
+        scan = IndexedScanExec(session, idf)
+        rdd = scan.execute()
+        assert rdd.partitioner == idf.partitioner
+
+    def test_scan_feeds_downstream_shuffle_free_group_by(self, env):
+        """group_by on the index key over indexed data: the scan's preserved
+        partitioning lets reduce_by_key-style ops skip a shuffle when keyed
+        identically; results must match regardless."""
+        session, rows, idf = env
+        from collections import Counter
+
+        got = dict(
+            idf.to_df().group_by("src").count().collect_tuples()
+        )
+        assert got == dict(Counter(r[0] for r in rows))
+
+
+class TestLookupExec:
+    def test_multi_key_lookup_spans_partitions(self, env):
+        session, rows, idf = env
+        keys = [0, 1, 2, 3, 17, 39]
+        got = sorted(
+            idf.to_df().where(col("src").isin(*keys)).collect_tuples()
+        )
+        want = sorted(r for r in rows if r[0] in keys)
+        assert got == want
+
+    def test_lookup_duplicated_in_keys(self, env):
+        session, rows, idf = env
+        got = idf.to_df().where(col("src").isin(5, 5, 5)).collect_tuples()
+        assert sorted(got) == sorted(r for r in rows if r[0] == 5)

@@ -1,0 +1,115 @@
+"""Out-of-core row batches: spill/fault transparency and partition spilling."""
+
+import pytest
+
+from repro.indexed.out_of_core import (
+    SpillableRowBatch,
+    fault_count,
+    resident_bytes,
+    spill_partition,
+)
+from repro.indexed.partition import IndexedPartition
+from repro.sql.types import DOUBLE, LONG, Schema
+
+SCHEMA = Schema.of(("k", LONG), ("v", LONG), ("w", DOUBLE))
+
+
+class TestSpillableRowBatch:
+    def test_behaves_like_row_batch(self):
+        b = SpillableRowBatch(64)
+        assert b.append(b"hello") == 0
+        assert b.append(b"x" * 60) is None
+        assert bytes(b.buf[:5]) == b"hello"
+        assert b.used == 5
+
+    def test_spill_and_fault_roundtrip(self, tmp_path):
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"payload")
+        freed = b.spill()
+        assert freed == 64
+        assert not b.resident
+        # Reading faults the bytes back in, identically.
+        assert bytes(b.buf[:7]) == b"payload"
+        assert b.resident
+        assert b.faults == 1
+        b.discard_file()
+
+    def test_spill_idempotent(self, tmp_path):
+        b = SpillableRowBatch(32, spill_dir=str(tmp_path))
+        b.append(b"abc")
+        assert b.spill() == 32
+        assert b.spill() == 0  # already spilled
+
+    def test_writes_rejected_while_spilled(self, tmp_path):
+        b = SpillableRowBatch(32, spill_dir=str(tmp_path))
+        b.append(b"abc")
+        b.spill()
+        with pytest.raises(RuntimeError):
+            b.reserve(4)
+        with pytest.raises(RuntimeError):
+            b.write(0, b"x")
+
+    def test_writable_again_after_fault(self, tmp_path):
+        b = SpillableRowBatch(32, spill_dir=str(tmp_path))
+        b.append(b"abc")
+        b.spill()
+        b.ensure_resident()
+        assert b.append(b"de") == 3
+
+    def test_from_batch_copies(self):
+        from repro.indexed.row_batch import RowBatch
+
+        src = RowBatch(64)
+        src.append(b"data")
+        clone = SpillableRowBatch.from_batch(src)
+        assert bytes(clone.buf[:4]) == b"data"
+        assert clone.used == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SpillableRowBatch(0)
+
+
+class TestSpillPartition:
+    def _partition(self, n=400):
+        p = IndexedPartition(SCHEMA, "k", batch_size=512)
+        p.insert_rows([(i % 25, i, float(i)) for i in range(n)])
+        assert len(p.batches) > 3  # several sealed batches
+        return p
+
+    def test_lookups_survive_spilling(self, tmp_path):
+        p = self._partition()
+        reference = {k: p.lookup(k) for k in range(25)}
+        freed = spill_partition(p, spill_dir=str(tmp_path))
+        assert freed > 0
+        for k in range(25):
+            assert p.lookup(k) == reference[k]
+        assert fault_count(p) > 0  # cold batches were faulted in
+
+    def test_keep_tail_leaves_appends_working(self, tmp_path):
+        p = self._partition()
+        spill_partition(p, spill_dir=str(tmp_path), keep_tail=True)
+        p.insert_row((7, 12345, 1.0))  # tail still writable
+        assert p.lookup(7)[0][1] == 12345
+
+    def test_resident_bytes_shrink(self, tmp_path):
+        p = self._partition()
+        before = resident_bytes(p)
+        spill_partition(p, spill_dir=str(tmp_path))
+        # Lookups not yet run: only the tail is resident.
+        assert resident_bytes(p) < before
+
+    def test_iter_rows_after_spill(self, tmp_path):
+        p = self._partition(200)
+        want = sorted(p.iter_rows())
+        spill_partition(p, spill_dir=str(tmp_path), keep_tail=False)
+        assert sorted(p.iter_rows()) == want
+
+    def test_snapshot_shares_spilled_batches(self, tmp_path):
+        p = self._partition(200)
+        spill_partition(p, spill_dir=str(tmp_path))
+        child = p.snapshot(1)
+        child.insert_row((3, 999, 0.0))
+        assert child.lookup(3)[0][1] == 999
+        # Parent's view is unchanged and still readable from disk.
+        assert all(r[1] != 999 for r in p.lookup(3))

@@ -1,0 +1,178 @@
+"""Packed pointers and the binary row codec: roundtrips and limits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexed.pointers import (
+    MAX_BATCH,
+    MAX_OFFSET,
+    MAX_SIZE,
+    NULL_POINTER,
+    is_null,
+    pack,
+    unpack,
+)
+from repro.indexed.row_batch import RowBatch
+from repro.indexed.row_codec import ROW_HEADER_SIZE, RowCodec
+from repro.sql.types import BOOLEAN, DOUBLE, INTEGER, LONG, STRING, Schema
+
+
+class TestPointers:
+    @given(
+        st.integers(min_value=0, max_value=MAX_BATCH),
+        st.integers(min_value=0, max_value=MAX_OFFSET),
+        st.integers(min_value=0, max_value=MAX_SIZE),
+    )
+    def test_roundtrip(self, batch, offset, size):
+        assert unpack(pack(batch, offset, size)) == (batch, offset, size)
+
+    def test_fits_64_bits(self):
+        assert pack(MAX_BATCH, MAX_OFFSET, MAX_SIZE) < 2**64
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack(MAX_BATCH + 1, 0, 0)
+        with pytest.raises(ValueError):
+            pack(0, MAX_OFFSET + 1, 0)
+        with pytest.raises(ValueError):
+            pack(0, 0, MAX_SIZE + 1)
+        with pytest.raises(ValueError):
+            pack(-1, 0, 0)
+
+    def test_null_pointer(self):
+        assert is_null(NULL_POINTER)
+        assert not is_null(pack(0, 0, 0))
+        with pytest.raises(ValueError):
+            unpack(NULL_POINTER)
+
+    def test_paper_limits_supported(self):
+        """Paper Section III-C: 4 MB batches, rows up to 1 KB."""
+        assert MAX_OFFSET >= 4 * 1024 * 1024 - 1
+        assert MAX_SIZE >= 1024
+
+
+SCHEMA = Schema.of(
+    ("i", INTEGER), ("l", LONG), ("d", DOUBLE), ("s", STRING), ("b", BOOLEAN)
+)
+
+row_strategy = st.tuples(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, width=64),
+    st.text(max_size=50),
+    st.booleans(),
+)
+
+
+class TestRowCodec:
+    def test_simple_roundtrip(self):
+        codec = RowCodec(SCHEMA)
+        encoded = codec.encode((1, 2, 3.5, "hi", True), prev_ptr=NULL_POINTER)
+        row, prev, size = codec.decode(encoded, 0)
+        assert row == (1, 2, 3.5, "hi", True)
+        assert prev == NULL_POINTER
+        assert size == len(encoded)
+
+    def test_prev_pointer_stored(self):
+        codec = RowCodec(SCHEMA)
+        ptr = pack(3, 128, 44)
+        encoded = codec.encode((0, 0, 0.0, "", False), prev_ptr=ptr)
+        _, prev, _ = codec.decode(encoded, 0)
+        assert prev == ptr
+        assert codec.read_prev_ptr(encoded, 0) == ptr
+
+    def test_nulls(self):
+        codec = RowCodec(SCHEMA)
+        encoded = codec.encode((None, 5, None, None, True), prev_ptr=NULL_POINTER)
+        row, _, _ = codec.decode(encoded, 0)
+        assert row == (None, 5, None, None, True)
+
+    def test_all_null_row(self):
+        codec = RowCodec(SCHEMA)
+        encoded = codec.encode((None,) * 5, prev_ptr=NULL_POINTER)
+        assert codec.decode(encoded, 0)[0] == (None,) * 5
+
+    def test_decode_at_offset(self):
+        codec = RowCodec(SCHEMA)
+        a = codec.encode((1, 1, 1.0, "a", False), NULL_POINTER)
+        b = codec.encode((2, 2, 2.0, "bb", True), NULL_POINTER)
+        buf = a + b
+        row_b, _, _ = codec.decode(buf, len(a))
+        assert row_b == (2, 2, 2.0, "bb", True)
+        assert codec.record_size(buf, 0) == len(a)
+        assert codec.record_size(buf, len(a)) == len(b)
+
+    def test_wrong_arity_rejected(self):
+        codec = RowCodec(SCHEMA)
+        with pytest.raises(ValueError):
+            codec.encode((1, 2), NULL_POINTER)
+
+    def test_oversized_row_rejected(self):
+        codec = RowCodec(SCHEMA, max_row_size=64)
+        with pytest.raises(ValueError):
+            codec.encode((1, 1, 1.0, "x" * 100, True), NULL_POINTER)
+
+    def test_unicode_strings(self):
+        codec = RowCodec(SCHEMA)
+        encoded = codec.encode((0, 0, 0.0, "héllo wörld ☃", False), NULL_POINTER)
+        assert codec.decode(encoded, 0)[0][3] == "héllo wörld ☃"
+
+    @given(row_strategy)
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, row):
+        codec = RowCodec(SCHEMA)
+        encoded = codec.encode(row, NULL_POINTER)
+        decoded, _, size = codec.decode(encoded, 0)
+        assert decoded == row
+        assert size == len(encoded)
+        assert size >= ROW_HEADER_SIZE
+
+
+class TestRowBatch:
+    def test_append_and_read(self):
+        batch = RowBatch(256)
+        off = batch.append(b"hello")
+        assert off == 0
+        assert bytes(batch.buf[off : off + 5]) == b"hello"
+        assert batch.used == 5
+
+    def test_sequential_offsets(self):
+        batch = RowBatch(256)
+        offs = [batch.append(b"x" * 10) for _ in range(5)]
+        assert offs == [0, 10, 20, 30, 40]
+
+    def test_full_batch_returns_none(self):
+        batch = RowBatch(16)
+        assert batch.append(b"x" * 10) == 0
+        assert batch.append(b"y" * 10) is None  # would overflow
+        assert batch.append(b"z" * 6) == 10  # still fits
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RowBatch(0)
+
+    def test_concurrent_reserves_disjoint(self):
+        import threading
+
+        batch = RowBatch(100_000)
+        offsets: list[int] = []
+        lock = threading.Lock()
+
+        def writer():
+            local = []
+            for _ in range(100):
+                off = batch.reserve(10)
+                assert off is not None
+                local.append(off)
+            with lock:
+                offsets.extend(local)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(offsets) == 800
+        assert len(set(offsets)) == 800  # no overlap
+        assert batch.used == 8000

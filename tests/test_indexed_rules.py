@@ -1,0 +1,209 @@
+"""Catalyst integration: the right physical operators get chosen, with
+fallback to vanilla execution when the index cannot help (Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.config import Config
+from repro.indexed.operators import IndexedJoinExec, IndexedLookupExec, IndexedScanExec
+from repro.indexed.rules import extract_lookup_keys
+from repro.sql.functions import col, count, lit
+from repro.sql.physical import FilterExec
+from repro.sql.session import Session
+from repro.sql.types import DOUBLE, LONG, STRING, Schema
+
+EDGE_SCHEMA = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+
+
+@pytest.fixture()
+def session() -> Session:
+    return Session(config=Config(default_parallelism=4, shuffle_partitions=4))
+
+
+def make_rows(n=600, keys=60, seed=4):
+    rng = random.Random(seed)
+    return [(rng.randrange(keys), rng.randrange(keys), round(rng.random(), 4)) for _ in range(n)]
+
+
+@pytest.fixture()
+def setup(session):
+    rows = make_rows()
+    df = session.create_dataframe(rows, EDGE_SCHEMA, "edges")
+    idf = df.create_index("src").cache_index()
+    idf.create_or_replace_temp_view("edges_idx")
+    return session, rows, idf
+
+
+class TestExtractLookupKeys:
+    def test_simple_equality(self):
+        keys, residual = extract_lookup_keys(col("src") == 5, "src")
+        assert keys == [5]
+        assert residual is None
+
+    def test_reversed_equality(self):
+        keys, _ = extract_lookup_keys(lit(5) == col("src"), "src")
+        assert keys == [5]
+
+    def test_in_list(self):
+        keys, residual = extract_lookup_keys(col("src").isin(3, 1, 2), "src")
+        assert keys == [1, 2, 3]
+        assert residual is None
+
+    def test_equality_with_residual(self):
+        keys, residual = extract_lookup_keys((col("src") == 5) & (col("w") > 0.5), "src")
+        assert keys == [5]
+        assert residual is not None
+
+    def test_conflicting_equalities_empty(self):
+        keys, _ = extract_lookup_keys((col("src") == 5) & (col("src") == 6), "src")
+        assert keys == []
+
+    def test_intersecting_in_and_eq(self):
+        keys, _ = extract_lookup_keys((col("src").isin(1, 2, 3)) & (col("src") == 2), "src")
+        assert keys == [2]
+
+    def test_no_key_constraint(self):
+        keys, residual = extract_lookup_keys(col("w") > 0.5, "src")
+        assert keys is None and residual is None
+
+    def test_non_key_equality_not_claimed(self):
+        keys, _ = extract_lookup_keys(col("dst") == 5, "src")
+        assert keys is None
+
+    def test_range_on_key_not_claimed(self):
+        keys, _ = extract_lookup_keys(col("src") > 5, "src")
+        assert keys is None
+
+
+class TestPlanSelection:
+    def _plan(self, session, df):
+        return session.plan_physical(df.plan)
+
+    def test_point_query_uses_lookup(self, setup):
+        session, _, idf = setup
+        p = self._plan(session, session.sql("SELECT * FROM edges_idx WHERE src = 5"))
+        assert isinstance(p, IndexedLookupExec)
+
+    def test_in_query_uses_lookup(self, setup):
+        session, _, _ = setup
+        p = self._plan(session, session.sql("SELECT * FROM edges_idx WHERE src IN (1, 2)"))
+        assert isinstance(p, IndexedLookupExec)
+
+    def test_lookup_with_residual_filter(self, setup):
+        session, _, _ = setup
+        p = self._plan(
+            session, session.sql("SELECT * FROM edges_idx WHERE src = 5 AND w > 0.5")
+        )
+        assert isinstance(p, FilterExec)
+        assert isinstance(p.child, IndexedLookupExec)
+
+    def test_non_equality_falls_back_to_scan(self, setup):
+        session, _, _ = setup
+        p = self._plan(session, session.sql("SELECT * FROM edges_idx WHERE w > 0.5"))
+        tree = p.tree_string()
+        assert "IndexedScan" in tree
+        assert "IndexedLookup" not in tree
+
+    def test_bare_scan(self, setup):
+        session, _, _ = setup
+        p = self._plan(session, session.sql("SELECT * FROM edges_idx"))
+        assert isinstance(p, IndexedScanExec)
+
+    def test_join_on_index_key_uses_indexed_join(self, setup):
+        session, _, idf = setup
+        probe = session.create_dataframe([(1,), (2,)], Schema.of(("k", LONG)), "p")
+        plan = self._plan(session, probe.join(idf.to_df(), on=("k", "src")))
+        assert isinstance(plan, IndexedJoinExec)
+        assert plan.indexed_on_left is False
+
+    def test_join_with_index_on_left(self, setup):
+        session, _, idf = setup
+        probe = session.create_dataframe([(1,), (2,)], Schema.of(("k", LONG)), "p")
+        plan = self._plan(session, idf.to_df().join(probe, on=("src", "k")))
+        assert isinstance(plan, IndexedJoinExec)
+        assert plan.indexed_on_left is True
+
+    def test_join_on_non_key_column_falls_back(self, setup):
+        session, _, idf = setup
+        probe = session.create_dataframe([(1,)], Schema.of(("k", LONG)), "p")
+        plan = self._plan(session, probe.join(idf.to_df(), on=("k", "dst")))
+        assert not isinstance(plan, IndexedJoinExec)
+        assert "IndexedScan" in plan.tree_string()  # index data still scanned
+
+    def test_non_indexed_query_untouched(self, setup):
+        session, rows, _ = setup
+        plain = session.create_dataframe(rows, EDGE_SCHEMA, "plain").cache()
+        plan = self._plan(session, plain.where(col("src") == 5))
+        assert "Indexed" not in plan.tree_string()
+
+
+class TestResultEquivalence:
+    """The indexed plans must return exactly what vanilla plans return."""
+
+    def test_point_query_results(self, setup):
+        session, rows, _ = setup
+        for key in (0, 5, 59, 1234):
+            got = session.sql(f"SELECT * FROM edges_idx WHERE src = {key}").collect_tuples()
+            assert sorted(got) == sorted(r for r in rows if r[0] == key)
+
+    def test_lookup_with_projection(self, setup):
+        session, rows, _ = setup
+        got = session.sql("SELECT dst FROM edges_idx WHERE src = 3").collect_tuples()
+        assert sorted(got) == sorted((r[1],) for r in rows if r[0] == 3)
+
+    def test_join_results_match_vanilla(self, setup):
+        session, rows, idf = setup
+        probe_keys = [(k,) for k in range(0, 60, 7)]
+        probe = session.create_dataframe(probe_keys, Schema.of(("k", LONG)), "probe")
+        indexed = probe.join(idf.to_df(), on=("k", "src")).collect_tuples()
+        vanilla_df = session.create_dataframe(rows, EDGE_SCHEMA, "vanilla").cache()
+        vanilla = probe.join(vanilla_df, on=("k", "src")).collect_tuples()
+        assert sorted(indexed) == sorted(vanilla)
+
+    def test_join_with_residual(self, setup):
+        session, rows, idf = setup
+        probe = session.create_dataframe([(k,) for k in range(60)], Schema.of(("k", LONG)), "p")
+        joined = probe.join(idf.to_df(), on=(col("k") == col("src")))
+        filtered = joined.where(col("w") > 0.5)
+        got = filtered.collect_tuples()
+        want = [(r[0],) + r for r in rows if r[2] > 0.5]
+        assert sorted(got) == sorted(want)
+
+    def test_aggregate_over_indexed_view(self, setup):
+        session, rows, _ = setup
+        got = session.sql(
+            "SELECT src, count(*) AS n FROM edges_idx GROUP BY src ORDER BY src"
+        ).collect_tuples()
+        from collections import Counter
+
+        want = sorted(Counter(r[0] for r in rows).items())
+        assert got == want
+
+    def test_self_join_on_index(self, setup):
+        """Lookup feeding an indexed self-join (the SQ7 pattern)."""
+        session, rows, _ = setup
+        got = session.sql(
+            "SELECT dst_r AS x FROM edges_idx a JOIN edges_idx b "
+            "ON a.dst = b.src WHERE a.src = 3"
+        ).collect_tuples()
+        firsts = [r[1] for r in rows if r[0] == 3]
+        want = sorted((r[1],) for r in rows if r[0] in firsts)
+        # one output per (a-edge, b-edge) pair:
+        want = sorted((r[1],) for f in firsts for r in rows if r[0] == f)
+        assert sorted(got) == want
+
+    def test_big_probe_uses_shuffle_path(self, setup):
+        """Probe larger than the broadcast threshold goes through the
+        shuffle path and still returns correct results."""
+        session, rows, idf = setup
+        session.context.config.broadcast_threshold = 64  # force shuffle
+        try:
+            probe = session.create_dataframe(
+                [(k,) for k in range(60)], Schema.of(("k", LONG)), "p"
+            )
+            got = probe.join(idf.to_df(), on=("k", "src")).collect_tuples()
+            want = [(r[0],) + r for r in rows]
+            assert sorted(got) == sorted(want)
+        finally:
+            session.context.config.broadcast_threshold = 10 * 1024 * 1024

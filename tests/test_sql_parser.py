@@ -1,0 +1,150 @@
+"""SQL parser: tokenization, plan shapes, error handling."""
+
+import pytest
+
+from repro.sql.catalog import Catalog
+from repro.sql.logical import Aggregate, Filter, Join, Limit, Project, Relation, Sort
+from repro.sql.parser import SQLParseError, parse_query, tokenize
+from repro.sql.types import DOUBLE, LONG, STRING, Schema
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    c = Catalog()
+    c.register(
+        "t", Relation("t", Schema.of(("id", LONG), ("name", STRING), ("v", DOUBLE)), rows=[])
+    )
+    c.register("u", Relation("u", Schema.of(("uid", LONG), ("city", STRING)), rows=[]))
+    return c
+
+
+class TestTokenizer:
+    def test_basic(self):
+        toks = tokenize("SELECT a FROM t WHERE x = 1")
+        kinds = [k for k, _ in toks]
+        assert kinds == ["kw", "ident", "kw", "ident", "kw", "ident", "op", "number", "eof"]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize("SELECT 'it''s'")
+        assert ("string", "'it''s'") in toks
+
+    def test_case_insensitive_keywords(self):
+        assert tokenize("select")[0] == ("kw", "select")
+        assert tokenize("SeLeCt")[0] == ("kw", "select")
+
+    def test_unknown_char(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @")
+
+
+class TestQueryShapes:
+    def test_select_star(self, catalog):
+        plan = parse_query("SELECT * FROM t", catalog)
+        assert isinstance(plan, Relation)
+
+    def test_projection(self, catalog):
+        plan = parse_query("SELECT id, name FROM t", catalog)
+        assert isinstance(plan, Project)
+        assert plan.schema.names() == ["id", "name"]
+
+    def test_alias(self, catalog):
+        plan = parse_query("SELECT id AS key FROM t", catalog)
+        assert plan.schema.names() == ["key"]
+
+    def test_where(self, catalog):
+        plan = parse_query("SELECT * FROM t WHERE id = 3", catalog)
+        assert isinstance(plan, Filter)
+
+    def test_where_precedence(self, catalog):
+        plan = parse_query(
+            "SELECT * FROM t WHERE id > 1 AND id < 5 OR name = 'x'", catalog
+        )
+        # OR binds loosest: top node is OR.
+        from repro.sql.expressions import Or
+
+        assert isinstance(plan.condition, Or)
+
+    def test_arithmetic_expression(self, catalog):
+        plan = parse_query("SELECT id * 2 + 1 AS two FROM t", catalog)
+        assert plan.schema.names() == ["two"]
+
+    def test_unary_minus(self, catalog):
+        plan = parse_query("SELECT * FROM t WHERE id > -5", catalog)
+        assert isinstance(plan, Filter)
+
+    def test_in_and_is_null(self, catalog):
+        parse_query("SELECT * FROM t WHERE id IN (1, 2, 3)", catalog)
+        parse_query("SELECT * FROM t WHERE name IS NOT NULL", catalog)
+
+    def test_join(self, catalog):
+        plan = parse_query("SELECT * FROM t JOIN u ON id = uid", catalog)
+        assert isinstance(plan, Join)
+        assert plan.how == "inner"
+
+    def test_left_join(self, catalog):
+        plan = parse_query("SELECT * FROM t LEFT JOIN u ON id = uid", catalog)
+        assert plan.how == "left"
+
+    def test_join_reversed_equality(self, catalog):
+        plan = parse_query("SELECT * FROM t JOIN u ON uid = id", catalog)
+        assert plan.left_keys[0].name == "id"
+        assert plan.right_keys[0].name == "uid"
+
+    def test_join_with_residual(self, catalog):
+        plan = parse_query("SELECT * FROM t JOIN u ON id = uid AND v > 1", catalog)
+        assert isinstance(plan, Join)
+        assert plan.residual is not None
+
+    def test_join_without_equality_rejected(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM t JOIN u ON v > 1", catalog)
+
+    def test_qualified_columns_stripped(self, catalog):
+        plan = parse_query("SELECT t.id FROM t", catalog)
+        assert plan.schema.names() == ["id"]
+
+    def test_table_alias(self, catalog):
+        plan = parse_query("SELECT a.id FROM t a", catalog)
+        assert plan.schema.names() == ["id"]
+        plan = parse_query("SELECT a.id FROM t AS a", catalog)
+        assert plan.schema.names() == ["id"]
+
+    def test_group_by(self, catalog):
+        plan = parse_query("SELECT name, count(*) AS n FROM t GROUP BY name", catalog)
+        assert isinstance(plan, Aggregate)
+        assert plan.schema.names() == ["name", "n"]
+
+    def test_global_aggregate_without_group_by(self, catalog):
+        plan = parse_query("SELECT sum(v) AS total FROM t", catalog)
+        assert isinstance(plan, Aggregate)
+        assert plan.group_exprs == []
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT name, id, count(*) FROM t GROUP BY name", catalog)
+
+    def test_count_star_only_for_count(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT sum(*) FROM t", catalog)
+
+    def test_order_limit(self, catalog):
+        plan = parse_query("SELECT * FROM t ORDER BY v DESC, id LIMIT 5", catalog)
+        assert isinstance(plan, Limit) and plan.n == 5
+        assert isinstance(plan.child, Sort)
+        assert plan.child.keys[0][1] is False  # DESC
+        assert plan.child.keys[1][1] is True
+
+    def test_distinct(self, catalog):
+        plan = parse_query("SELECT DISTINCT name FROM t", catalog)
+        assert isinstance(plan, Aggregate)
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(KeyError):
+            parse_query("SELECT * FROM nope", catalog)
+
+    def test_trailing_garbage(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM t extra nonsense,", catalog)
+
+    def test_string_and_float_literals(self, catalog):
+        parse_query("SELECT * FROM t WHERE name = 'abc' AND v > 1.25", catalog)

@@ -1,0 +1,144 @@
+"""Physical operators directly: scan fusion, limits, sorts, estimates."""
+
+import pytest
+
+from repro.config import Config
+from repro.sql.cache import CachedRelation
+from repro.sql.functions import col, count
+from repro.sql.logical import Filter, Project, Relation
+from repro.sql.physical import (
+    ColumnarScanExec,
+    FilterExec,
+    LimitExec,
+    ProjectExec,
+    RowSourceExec,
+    SortExec,
+    UnionExec,
+    estimate_row_bytes,
+)
+from repro.sql.session import Session
+from repro.sql.types import DOUBLE, LONG, STRING, Schema
+
+SCHEMA = Schema.of(("id", LONG), ("name", STRING), ("v", DOUBLE))
+ROWS = [(i, f"n{i % 3}", i * 0.5) for i in range(60)]
+
+
+@pytest.fixture()
+def session():
+    return Session(config=Config(default_parallelism=3, shuffle_partitions=3))
+
+
+@pytest.fixture()
+def cached(session):
+    return CachedRelation(session.context, SCHEMA, ROWS, num_partitions=3).build()
+
+
+class TestScanFusion:
+    def test_filter_project_relation_fuses(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        plan = Project([col("id"), col("v")], Filter(col("id") < 10, rel))
+        physical = session.plan_physical(plan)
+        assert isinstance(physical, ColumnarScanExec)
+        assert physical.required == ["id", "v"]
+        got = sorted(physical.execute().collect())
+        assert got == [(i, i * 0.5) for i in range(10)]
+
+    def test_filter_only_fuses(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        physical = session.plan_physical(Filter(col("id") < 5, rel))
+        assert isinstance(physical, ColumnarScanExec)
+        assert physical.condition is not None
+        assert len(physical.execute().collect()) == 5
+
+    def test_computed_projection_does_not_fuse(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        plan = Project([(col("id") * 2).alias("x")], rel)
+        physical = session.plan_physical(plan)
+        assert isinstance(physical, ProjectExec)
+        assert sorted(physical.execute().collect()) == [(2 * i,) for i in range(60)]
+
+    def test_bare_cached_relation_scans_columnar(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        physical = session.plan_physical(rel)
+        assert isinstance(physical, ColumnarScanExec)
+        assert sorted(physical.execute().collect()) == sorted(ROWS)
+
+    def test_uncached_relation_uses_row_source(self, session):
+        rel = Relation("t", SCHEMA, rows=ROWS)
+        physical = session.plan_physical(rel)
+        assert isinstance(physical, RowSourceExec)
+
+
+class TestOperatorEdgeCases:
+    def test_limit_zero(self, session):
+        rel = Relation("t", SCHEMA, rows=ROWS)
+        physical = LimitExec(session, 0, RowSourceExec(session, rel))
+        assert physical.execute().collect() == []
+
+    def test_limit_larger_than_data(self, session):
+        rel = Relation("t", SCHEMA, rows=ROWS[:3])
+        physical = LimitExec(session, 100, RowSourceExec(session, rel))
+        assert len(physical.execute().collect()) == 3
+
+    def test_sort_multi_key_mixed_direction(self, session):
+        from repro.sql.analysis import resolve_expression
+
+        rel = Relation("t", SCHEMA, rows=ROWS)
+        child = RowSourceExec(session, rel)
+        keys = [
+            (resolve_expression(col("name"), SCHEMA), True),
+            (resolve_expression(col("id"), SCHEMA), False),
+        ]
+        out = SortExec(session, keys, child).execute().collect()
+        assert out == sorted(ROWS, key=lambda r: (r[1], -r[0]))
+
+    def test_sort_empty(self, session):
+        rel = Relation("t", SCHEMA, rows=[])
+        physical = SortExec(session, [], RowSourceExec(session, rel))
+        assert physical.execute().collect() == []
+
+    def test_union_exec(self, session):
+        a = RowSourceExec(session, Relation("a", SCHEMA, rows=ROWS[:5]))
+        b = RowSourceExec(session, Relation("b", SCHEMA, rows=ROWS[5:9]))
+        u = UnionExec(session, a, b)
+        assert len(u.execute().collect()) == 9
+        assert u.estimated_rows() == 9
+
+    def test_filter_exec_row_path(self, session):
+        from repro.sql.analysis import resolve_expression
+
+        rel = Relation("t", SCHEMA, rows=ROWS)
+        cond = resolve_expression(col("v") > 10.0, SCHEMA)
+        physical = FilterExec(session, cond, RowSourceExec(session, rel))
+        got = physical.execute().collect()
+        assert got == [r for r in ROWS if r[2] > 10.0]
+
+    def test_tree_string_renders(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        physical = session.plan_physical(Filter(col("id") < 5, rel))
+        assert "ColumnarScan" in physical.tree_string()
+
+
+class TestEstimates:
+    def test_row_bytes_counts_strings_wider(self):
+        narrow = Schema.of(("a", LONG))
+        wide = Schema.of(("a", LONG), ("s", STRING))
+        assert estimate_row_bytes(wide) > estimate_row_bytes(narrow)
+
+    def test_scan_estimates_shrink_with_filter(self, session, cached):
+        bare = ColumnarScanExec(session, cached)
+        filtered = ColumnarScanExec(session, cached, condition=col("id") < 5)
+        assert filtered.estimated_rows() < bare.estimated_rows()
+
+
+class TestPhaseAccounting:
+    def test_columnar_scan_records_phase(self, session, cached):
+        rel = Relation("t", SCHEMA, cached=cached)
+        session.context.metrics.reset()
+        session.plan_physical(Filter(col("id") < 5, rel)).execute().collect()
+        phases = [
+            t.phases
+            for s in session.context.metrics.stages.values()
+            for t in s.tasks
+        ]
+        assert any("scan" in p for p in phases)

@@ -1,0 +1,116 @@
+"""Deterministic hashing: stability, distribution, vectorized agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.hashing import (
+    hash32,
+    hash64,
+    hash_column,
+    partition_column,
+    partition_for,
+)
+
+scalar_keys = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestHash64:
+    def test_deterministic_across_calls(self):
+        assert hash64("abc") == hash64("abc")
+        assert hash64(12345) == hash64(12345)
+
+    def test_known_types_differ(self):
+        values = [0, 1, "0", "1", 0.5, True, None, b"x"]
+        hashes = [hash64(v) for v in values]
+        # bool True vs int 1 must differ (distinct hash domains).
+        assert hash64(True) != hash64(1)
+        assert len(set(hashes)) >= len(values) - 1
+
+    def test_negative_zero_equals_zero(self):
+        assert hash64(-0.0) == hash64(0.0)
+
+    def test_tuple_keys(self):
+        assert hash64((1, "a")) == hash64((1, "a"))
+        assert hash64((1, "a")) != hash64(("a", 1))
+
+    def test_unhashable_raises(self):
+        with pytest.raises(TypeError):
+            hash64([1, 2])
+
+    @given(scalar_keys)
+    def test_in_64bit_range(self, key):
+        h = hash64(key)
+        assert 0 <= h < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_avalanche_adjacent_ints(self, x):
+        # Adjacent keys should differ in many bits (mixer quality).
+        a, b = hash64(x), hash64(x + 1)
+        assert bin(a ^ b).count("1") > 8
+
+
+class TestHash32:
+    @given(scalar_keys)
+    def test_in_32bit_range(self, key):
+        assert 0 <= hash32(key) < 2**32
+
+    def test_string_keys_stable(self):
+        assert hash32("N12345") == hash32("N12345")
+
+
+class TestPartitionFor:
+    @given(scalar_keys, st.integers(min_value=1, max_value=64))
+    def test_in_range(self, key, n):
+        assert 0 <= partition_for(key, n) < n
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            partition_for(1, 0)
+
+    def test_balance_over_int_keys(self):
+        n = 8
+        counts = [0] * n
+        for k in range(8000):
+            counts[partition_for(k, n)] += 1
+        assert max(counts) < 1.25 * min(counts)
+
+
+class TestVectorized:
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_int_column_matches_scalar(self, keys):
+        vec = hash_column(np.array(keys, dtype=np.int64))
+        for k, h in zip(keys, vec.tolist()):
+            assert h == hash64(k)
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30)
+    def test_float_column_matches_scalar(self, keys):
+        vec = hash_column(np.array(keys, dtype=np.float64))
+        for k, h in zip(keys, vec.tolist()):
+            assert h == hash64(k)
+
+    def test_object_column_matches_scalar(self):
+        keys = ["a", "bb", "ccc", ""]
+        vec = hash_column(np.array(keys, dtype=object))
+        assert [hash64(k) for k in keys] == vec.tolist()
+
+    def test_partition_column_matches_partition_for(self):
+        keys = np.arange(-500, 500, dtype=np.int64)
+        parts = partition_column(keys, 7)
+        for k, p in zip(keys.tolist(), parts.tolist()):
+            assert p == partition_for(k, 7)

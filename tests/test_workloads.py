@@ -1,0 +1,215 @@
+"""Workload generators: determinism, shapes, and queries running end-to-end."""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import Config
+from repro.sql.session import Session
+from repro.workloads import broconn, flights, snb, tpcds
+from repro.workloads.zipf import zipf_probabilities, zipf_sample
+
+
+@pytest.fixture()
+def session() -> Session:
+    return Session(config=Config(default_parallelism=4, shuffle_partitions=4))
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        import numpy as np
+
+        p = zipf_probabilities(100, 1.2)
+        assert abs(p.sum() - 1.0) < 1e-9
+        assert (np.diff(p) <= 0).all()  # monotone decreasing in rank
+
+    def test_sample_deterministic(self):
+        a = zipf_sample(50, 1000, seed=3)
+        b = zipf_sample(50, 1000, seed=3)
+        assert (a == b).all()
+
+    def test_sample_is_skewed(self):
+        draws = zipf_sample(1000, 20000, alpha=1.3, seed=5)
+        counts = Counter(draws.tolist())
+        top = counts.most_common(1)[0][1]
+        assert top > 3 * (20000 / 1000)  # hottest key far above uniform
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.2)
+
+
+class TestSNB:
+    def test_edge_rows_match_schema(self):
+        rows = snb.generate_snb_edges(2)
+        assert len(rows) == snb.num_edges(2)
+        for r in rows[:20]:
+            assert len(r) == len(snb.EDGE_SCHEMA)
+            assert 0 <= r[0] < snb.num_persons(2)
+
+    def test_persons_unique_ids(self):
+        rows = snb.generate_snb_persons(2)
+        ids = [r[0] for r in rows]
+        assert len(set(ids)) == len(ids)
+
+    def test_determinism(self):
+        assert snb.generate_snb_edges(1, seed=9) == snb.generate_snb_edges(1, seed=9)
+
+    def test_power_law_degrees(self):
+        rows = snb.generate_snb_edges(5)
+        deg = Counter(r[0] for r in rows)
+        top = deg.most_common(1)[0][1]
+        assert top > 5 * (len(rows) / snb.num_persons(5))
+
+    def test_probe_keys_exist(self):
+        rows = snb.generate_snb_edges(1)
+        keys = snb.sample_probe_keys(rows, 20)
+        srcs = {r[0] for r in rows}
+        assert all(k in srcs for k in keys)
+
+    def test_short_queries_run_on_vanilla_and_indexed(self, session):
+        edges = snb.generate_snb_edges(1)
+        persons = snb.generate_snb_persons(1)
+        edges_df = session.create_dataframe(edges, snb.EDGE_SCHEMA, "edges")
+        persons_df = session.create_dataframe(persons, snb.PERSON_SCHEMA, "persons")
+        persons_df.cache().create_or_replace_temp_view("persons")
+        pid = edges[0][0]
+
+        # vanilla: columnar-cached view
+        edges_df.cache().create_or_replace_temp_view("edges")
+        vanilla = {
+            q.name: sorted(session.sql(q.sql(pid)).collect_tuples())
+            for q in snb.short_queries()
+        }
+        # indexed view, same query text
+        idf = edges_df.create_index("edge_source").cache_index()
+        idf.create_or_replace_temp_view("edges")
+        indexed = {
+            q.name: sorted(session.sql(q.sql(pid)).collect_tuples())
+            for q in snb.short_queries()
+        }
+        for name in vanilla:
+            if name == "SQ5":
+                assert indexed[name][0][0] == pytest.approx(vanilla[name][0][0])
+            else:
+                assert indexed[name] == vanilla[name], name
+
+
+class TestTPCDS:
+    def test_scale_factor_scales_rows(self):
+        assert tpcds.rows_for_scale_factor(10) == 10 * tpcds.rows_for_scale_factor(1)
+
+    def test_date_dim_fixed_size(self):
+        dim = tpcds.generate_date_dim()
+        assert len(dim) == tpcds.NUM_DATES
+        assert len({r[0] for r in dim}) == len(dim)  # unique date keys
+
+    def test_sales_dates_covered_by_dim(self):
+        sales = tpcds.generate_store_sales(1)
+        dim_keys = {r[0] for r in tpcds.generate_date_dim()}
+        assert all(r[0] in dim_keys for r in sales[:200])
+
+    def test_join_query_equivalence(self, session):
+        sales = tpcds.generate_store_sales(1)
+        dim = tpcds.generate_date_dim()
+        sales_df = session.create_dataframe(sales, tpcds.STORE_SALES_SCHEMA, "store_sales")
+        dim_df = session.create_dataframe(dim, tpcds.DATE_DIM_SCHEMA, "date_dim")
+        dim_df.cache().create_or_replace_temp_view("date_dim")
+
+        sales_df.cache().create_or_replace_temp_view("store_sales")
+        vanilla = sorted(session.sql(tpcds.join_sql(year=2000)).collect_tuples())
+
+        idf = sales_df.create_index("ss_sold_date_sk").cache_index()
+        idf.create_or_replace_temp_view("store_sales")
+        indexed = sorted(session.sql(tpcds.join_sql(year=2000)).collect_tuples())
+        assert vanilla == indexed
+        assert len(vanilla) > 0
+
+
+class TestFlights:
+    def test_planted_match_counts_exact(self):
+        rows = flights.generate_flights(5000)
+        counts = Counter(r[0] for r in rows)
+        for key, n in flights.PLANTED_MATCHES.items():
+            assert counts[key] == n
+
+    def test_tail_numbers_reference_planes(self):
+        fl = flights.generate_flights(2000)
+        pl = flights.generate_planes(2000)
+        tails = {p[0] for p in pl}
+        assert all(f[1] in tails for f in fl[:100])
+
+    def test_select_flights(self):
+        fl = flights.generate_flights(5000)
+        sel = flights.select_flights(fl, 200)
+        assert all(r[0] < 200 for r in sel)
+        assert len(flights.select_flights(fl, 400)) > len(sel)
+
+    def test_queries_equivalent_vanilla_vs_indexed(self, session):
+        n = 3000
+        fl = flights.generate_flights(n)
+        pl = flights.generate_planes(n)
+        fl_df = session.create_dataframe(fl, flights.FLIGHTS_SCHEMA, "flights")
+        session.create_dataframe(pl, flights.PLANES_SCHEMA, "planes").cache() \
+            .create_or_replace_temp_view("planes")
+        for view, sel in (
+            ("flights_sel200", flights.select_flights(fl, 200)),
+            ("flights_sel400", flights.select_flights(fl, 400)),
+        ):
+            session.create_dataframe(sel, flights.FLIGHTS_SCHEMA, view) \
+                .create_or_replace_temp_view(view)
+
+        qs = flights.queries()
+        fl_df.cache().create_or_replace_temp_view("flights")
+        vanilla = {name: sorted(q(session).collect_tuples()) for name, q in qs.items()}
+
+        # integer-keyed index for Q3-Q7
+        idf_int = fl_df.create_index("flight_num").cache_index()
+        idf_int.create_or_replace_temp_view("flights")
+        for name in ("Q3", "Q4", "Q5", "Q6", "Q7"):
+            assert sorted(qs[name](session).collect_tuples()) == vanilla[name], name
+
+        # string-keyed index for Q1-Q2
+        idf_str = fl_df.create_index("tail_num").cache_index()
+        idf_str.create_or_replace_temp_view("flights")
+        for name in ("Q1", "Q2"):
+            assert sorted(qs[name](session).collect_tuples()) == vanilla[name], name
+
+    def test_point_query_match_counts(self, session):
+        fl = flights.generate_flights(3000)
+        fl_df = session.create_dataframe(fl, flights.FLIGHTS_SCHEMA, "flights")
+        idf = fl_df.create_index("flight_num").cache_index()
+        assert len(idf.lookup_tuples(10)) == 10
+        assert len(idf.lookup_tuples(100)) == 100
+        assert len(idf.lookup_tuples(1000)) == 1000
+
+
+class TestBroconn:
+    def test_shape_and_determinism(self):
+        rows = broconn.generate_broconn(500)
+        assert len(rows) == 500
+        assert rows == broconn.generate_broconn(500)
+        for r in rows[:10]:
+            assert len(r) == len(broconn.CONN_SCHEMA)
+
+    def test_timestamps_monotone(self):
+        rows = broconn.generate_broconn(200)
+        ts = [r[0] for r in rows]
+        assert ts == sorted(ts)
+
+    def test_probe_sample_keys_exist(self):
+        rows = broconn.generate_broconn(1000)
+        probe = broconn.sample_probe(rows, fraction=0.01)
+        hosts = {r[2] for r in rows}
+        assert len(probe) == 10
+        assert all(p[0] in hosts for p in probe)
+
+    def test_fig1_join_runs(self, session):
+        rows = broconn.generate_broconn(1000)
+        probe = broconn.sample_probe(rows, fraction=0.01)
+        conn_df = session.create_dataframe(rows, broconn.CONN_SCHEMA, "conn")
+        probe_df = session.create_dataframe(probe, broconn.PROBE_SCHEMA, "probe")
+        idf = conn_df.create_index("orig_h").cache_index()
+        got = probe_df.join(idf.to_df(), on=("probe_h", "orig_h")).collect_tuples()
+        want = [(p[0],) + r for p in probe for r in rows if r[2] == p[0]]
+        assert sorted(got, key=repr) == sorted(want, key=repr)
