@@ -1,0 +1,169 @@
+"""PR-trajectory benchmark: parallel runtime + batch decode kernels.
+
+Standalone driver (``python benchmarks/run_trajectory.py``) that times three
+paper-shaped workloads — Fig. 1 (join amortization), Fig. 6 (scalability
+join), Fig. 8 (operator mix) — under both scheduler modes, plus the
+``decode_all`` batch-kernel microbenchmark against the per-row decode loop,
+and writes the medians to ``BENCH_PR1.json`` at the repository root.
+
+The threads-mode speedup is hardware-dependent: on a single-core container
+the pool can only interleave, so expect ~1.0x there and the gain on
+multi-core hosts. The decode-kernel speedup is per-process and should hold
+anywhere (fixed-width schema target: >= 1.5x).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import build_pair, time_call  # noqa: E402
+from repro.config import Config  # noqa: E402
+from repro.indexed.row_codec import RowCodec  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, Schema  # noqa: E402
+from repro.workloads.snb import EDGE_SCHEMA, generate_snb_edges  # noqa: E402
+
+MICRO_SCHEMA = Schema.of(
+    ("src", LONG), ("dst", LONG), ("date", LONG), ("weight", DOUBLE)
+)
+REPEATS = 5
+
+
+def bench_config(mode: str) -> Config:
+    return Config(
+        default_parallelism=8,
+        shuffle_partitions=8,
+        row_batch_size=256 * 1024,
+        scheduler_mode=mode,
+    )
+
+
+def snb_edges(n: int) -> list[tuple]:
+    return generate_snb_edges(scale_factor=max(1, n // 1000), n_persons=max(64, n // 100))
+
+
+def fig01_amortization(mode: str) -> list[float]:
+    """Five consecutive probe joins against one pre-built index."""
+    edges = snb_edges(20_000)
+    pair = build_pair(edges, EDGE_SCHEMA, "edge_source", config=bench_config(mode))
+    probe_keys = sorted({e[0] for e in edges})[::20]
+    probe = pair.session.create_dataframe(
+        [(k,) for k in probe_keys], EDGE_SCHEMA.select(["edge_source"]), "probe"
+    )
+    joined = probe.join(pair.indexed.to_df(), on=("edge_source", "edge_source"))
+
+    def run() -> int:
+        total = 0
+        for _ in range(5):
+            total += len(joined.collect_tuples())
+        return total
+
+    return time_call(run, repeats=REPEATS)
+
+
+def fig06_scalability_join(mode: str) -> list[float]:
+    """One XL-shaped indexed join (the Fig. 6 unit of work)."""
+    edges = snb_edges(40_000)
+    pair = build_pair(edges, EDGE_SCHEMA, "edge_source", config=bench_config(mode))
+    probe_keys = sorted({e[0] for e in edges})
+    probe = pair.session.create_dataframe(
+        [(k,) for k in probe_keys], EDGE_SCHEMA.select(["edge_source"]), "probe"
+    )
+    joined = probe.join(pair.indexed.to_df(), on=("edge_source", "edge_source"))
+    return time_call(lambda: len(joined.collect_tuples()), repeats=REPEATS)
+
+
+def fig08_operator_mix(mode: str) -> list[float]:
+    """Scan + filter + aggregate over the indexed relation (full-scan
+    heavy, i.e. the decode-kernel path)."""
+    edges = snb_edges(30_000)
+    pair = build_pair(edges, EDGE_SCHEMA, "edge_source", config=bench_config(mode))
+    pair.indexed.create_or_replace_temp_view("edges_idx")
+    session = pair.session
+
+    def run() -> int:
+        n = len(session.sql("SELECT edge_source, edge_dest FROM edges_idx").collect_tuples())
+        n += len(session.sql("SELECT * FROM edges_idx WHERE edge_source = 7").collect_tuples())
+        n += len(session.sql("SELECT avg(weight) FROM edges_idx").collect_tuples())
+        return n
+
+    return time_call(run, repeats=REPEATS)
+
+
+def decode_kernel_micro() -> dict[str, float]:
+    """decode_all vs an equivalent per-row decode() loop, fixed-width
+    schema (the SNB-edge shape) — the acceptance microbenchmark."""
+    codec = RowCodec(MICRO_SCHEMA)
+    null_ptr = (1 << 64) - 1
+    buf = b"".join(
+        codec.encode((i, i * 3, 1_500_000 + i, i * 0.25), prev_ptr=null_ptr)
+        for i in range(50_000)
+    )
+
+    def per_row() -> int:
+        pos, n = 0, 0
+        decode = codec.decode
+        end = len(buf)
+        while pos < end:
+            _row, _ptr, size = decode(buf, pos)
+            pos += size
+            n += 1
+        return n
+
+    def batched() -> int:
+        return len(codec.decode_all(buf))
+
+    assert per_row() == batched() == 50_000
+    t_row = statistics.median(time_call(per_row, repeats=REPEATS))
+    t_batch = statistics.median(time_call(batched, repeats=REPEATS))
+    return {
+        "per_row_decode_s": t_row,
+        "decode_all_s": t_batch,
+        "speedup": t_row / t_batch,
+    }
+
+
+WORKLOADS = {
+    "fig01_amortization": fig01_amortization,
+    "fig06_scalability_join": fig06_scalability_join,
+    "fig08_operator_mix": fig08_operator_mix,
+}
+
+
+def main() -> None:
+    results: dict[str, object] = {
+        "repeats": REPEATS,
+        "workloads": {},
+    }
+    for name, fn in WORKLOADS.items():
+        entry: dict[str, float] = {}
+        for mode in ("sequential", "threads"):
+            t0 = time.perf_counter()
+            entry[mode] = statistics.median(fn(mode))
+            print(
+                f"{name:24s} {mode:10s} median={entry[mode]:.4f}s "
+                f"(total {time.perf_counter() - t0:.1f}s)",
+                flush=True,
+            )
+        entry["threads_speedup"] = entry["sequential"] / entry["threads"]
+        results["workloads"][name] = entry  # type: ignore[index]
+
+    micro = decode_kernel_micro()
+    print(
+        f"decode_all microbench    per-row={micro['per_row_decode_s']:.4f}s "
+        f"batched={micro['decode_all_s']:.4f}s speedup={micro['speedup']:.2f}x"
+    )
+    results["decode_kernel"] = micro
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

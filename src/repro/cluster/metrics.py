@@ -107,11 +107,13 @@ class MetricsCollector:
 
     def stage_makespan(self, stage_id: int) -> float:
         """List-schedule the stage's tasks (longest first) onto core slots."""
-        stage = self.stages.get(stage_id)
-        if stage is None or not stage.tasks:
+        with self._lock:
+            stage = self.stages.get(stage_id)
+            tasks = list(stage.tasks) if stage is not None else []
+        if not tasks:
             return 0.0
         return lpt_makespan(
-            [self.simulated_task_seconds(t) for t in stage.tasks],
+            [self.simulated_task_seconds(t) for t in tasks],
             self.topology.total_cores,
         )
 
@@ -125,7 +127,11 @@ class MetricsCollector:
 
     def job_makespan(self, stage_ids: list[int] | None = None) -> float:
         """Sum of stage makespans (stages separated by shuffle barriers)."""
-        ids = sorted(self.stages) if stage_ids is None else stage_ids
+        if stage_ids is None:
+            with self._lock:
+                ids = sorted(self.stages)
+        else:
+            ids = stage_ids
         return sum(self.stage_makespan(s) for s in ids)
 
     # ------------------------------------------------------------------ reports
@@ -138,9 +144,10 @@ class MetricsCollector:
 
     def summary(self) -> dict[str, float]:
         with self._lock:
+            num_stages = len(self.stages)
             tasks = [t for s in self.stages.values() for t in s.tasks]
         return {
-            "stages": float(len(self.stages)),
+            "stages": float(num_stages),
             "tasks": float(len(tasks)),
             "compute_seconds": sum(t.compute_seconds for t in tasks),
             "shuffle_bytes_written": float(sum(t.shuffle_bytes_written for t in tasks)),

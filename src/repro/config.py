@@ -45,6 +45,17 @@ class Config:
         Attempts per task before the job is failed.
     partitions_per_core:
         Rule-of-thumb multiplier when deriving parallelism from a cluster.
+    scheduler_mode:
+        How the task scheduler executes a stage's tasks: ``"sequential"``
+        runs them one by one in the driver thread (deterministic, the
+        original behaviour); ``"threads"`` launches them concurrently onto
+        a thread pool bounded by the topology's executor slots. Both modes
+        produce identical results.
+    max_concurrent_tasks:
+        Upper bound on concurrently running tasks in ``"threads"`` mode.
+        0 (the default) derives the bound from the topology:
+        ``sum(cores * partitions_per_core)`` over alive executors, capped
+        at 32 threads.
     index_string_keys_as_hash:
         Hash string keys to 32-bit ints before inserting into the cTrie
         (Section IV-E: strings are hashed, costing extra vs primitive keys).
@@ -58,6 +69,8 @@ class Config:
     locality_wait: float = 3.0
     max_task_retries: int = 4
     partitions_per_core: int = 2
+    scheduler_mode: str = "sequential"
+    max_concurrent_tasks: int = 0
     index_string_keys_as_hash: bool = True
     #: Storage format of indexed partitions: "row" (the paper's prototype,
     #: binary row batches) or "columnar" (footnote 2's alternative).

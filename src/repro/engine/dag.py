@@ -108,6 +108,11 @@ class DAGScheduler:
         sm = self.context.shuffle_manager
         for dep in stage.parents:
             map_stage = self._shuffle_stage_for(dep)
+            # Idempotent re-registration: a wholly-unregistered shuffle
+            # (e.g. dropped via unregister_shuffle, or a FetchFailedError
+            # with map_id == -1) gets fresh empty slots instead of
+            # missing_maps escaping run_job with a bare KeyError.
+            sm.register_shuffle(dep.shuffle_id, dep.rdd.num_partitions)
             missing = sm.missing_maps(dep.shuffle_id)
             if not missing:
                 continue  # amortized: outputs already materialized
@@ -120,3 +125,6 @@ class DAGScheduler:
             # The slot is already None (executor loss cleared it); nothing
             # else to do: the retry recomputes missing maps via _ensure_parents.
             return
+        # map_id == -1: the shuffle is wholly unregistered. _ensure_parents
+        # re-registers it (empty slots) on the retry, so every map is
+        # recomputed from lineage; no driver-side state to repair here.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -30,6 +31,8 @@ class ExecutorRuntime:
         self.block_manager = BlockManager(spec.executor_id)
         self.alive = True
         self.tasks_run = 0
+        # tasks_run is a read-modify-write shared across pool threads.
+        self._stats_lock = threading.Lock()
 
     def run_task(
         self,
@@ -54,7 +57,8 @@ class ExecutorRuntime:
             result = fn(ctx)
         finally:
             elapsed = time.perf_counter() - t0
-            self.tasks_run += 1
+            with self._stats_lock:
+                self.tasks_run += 1
             self.context.metrics.record(
                 TaskMetrics(
                     stage_id=stage_id,

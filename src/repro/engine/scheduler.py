@@ -7,20 +7,47 @@ saturated relative to its fair share and the configured ``locality_wait``
 is exceeded in simulated time, the task degrades to ANY — which is exactly
 the mechanism that creates the *stale replayed copies* the Indexed
 DataFrame's version numbers guard against (Section III-D).
+
+Execution modes (``Config.scheduler_mode``):
+
+* ``"sequential"`` — every task of a stage runs in the caller's thread,
+  one after another (the original behaviour; fully deterministic).
+* ``"threads"`` — a stage's tasks are launched concurrently onto a
+  ``ThreadPoolExecutor`` whose width is bounded by the topology's executor
+  slots (``cores * partitions_per_core`` summed over alive executors, or
+  ``Config.max_concurrent_tasks``). Slot accounting (the ``busy`` map that
+  drives delay scheduling) lives under a lock; per-task retry/blacklisting
+  is identical to sequential mode; a ``FetchFailedError`` cancels the
+  stage's in-flight siblings and propagates to the DAG scheduler; results
+  are returned in partition order either way, so the two modes produce
+  byte-identical query results.
+
+The cTrie and the shuffle/block/metrics registries are all safe under
+concurrent tasks — the paper's whole point is many tasks hammering one
+indexed cache at once — so ``"threads"`` is what actually exercises the
+lock-free index. Pure-Python *per-row* loops stay GIL-bound; the real
+wall-clock win comes from pairing this mode with the batch-at-a-time
+decode kernels (:meth:`repro.indexed.row_codec.RowCodec.decode_all`).
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import threading
+from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.engine.partition import TaskContext
 from repro.engine.shuffle import FetchFailedError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import EngineContext
     from repro.engine.task import Stage
+
+#: Hard cap on derived thread-pool width; topologies can describe hundreds
+#: of simulated slots but the host only has so many real cores.
+MAX_DERIVED_POOL_WIDTH = 32
 
 
 @dataclass
@@ -35,14 +62,22 @@ class TaskFailure(Exception):
         return f"task (stage={self.stage_id}, partition={self.partition}) failed: {self.cause}"
 
 
+class StageCancelled(Exception):
+    """Internal: a sibling task failed; this task should not start/retry."""
+
+
 class TaskScheduler:
-    """Runs the tasks of one stage, partition by partition."""
+    """Runs the tasks of one stage, partition by partition or concurrently."""
 
     def __init__(self, context: "EngineContext") -> None:
         self.context = context
         self._round_robin = itertools.count()
         #: (executor_id, locality) choices of the last stage, for tests.
         self.last_placements: list[tuple[str, str]] = []
+        #: Guards busy-slot accounting and last_placements under the pool.
+        self._slot_lock = threading.Lock()
+        #: executor_id -> tasks currently occupying a slot (last stage run).
+        self.busy: dict[str, int] = {}
 
     # -- placement -----------------------------------------------------------------
 
@@ -74,6 +109,50 @@ class TaskScheduler:
         e = alive[next(self._round_robin) % len(alive)]
         return e, "ANY"
 
+    def max_concurrent_tasks(self) -> int:
+        """Pool width for ``"threads"`` mode: explicit knob or derived slots."""
+        cfg = self.context.config
+        if cfg.max_concurrent_tasks > 0:
+            return cfg.max_concurrent_tasks
+        topology = self.context.topology
+        slots = sum(
+            topology.executor(e).cores * cfg.partitions_per_core
+            for e in self._alive_executors()
+        )
+        host = max(2, 2 * (os.cpu_count() or 1))
+        return max(1, min(slots, MAX_DERIVED_POOL_WIDTH, max(host, 4)))
+
+    # -- slot accounting --------------------------------------------------------------
+
+    def _acquire_slot(
+        self, stage: "Stage", split: int, tried: set[str], attempt: int
+    ) -> tuple[str, str]:
+        """Pick an executor for one task attempt and occupy one of its slots.
+
+        Blacklisting: on a retry, an executor that already failed this task
+        is avoided when any untried executor is alive (as Spark's
+        blacklisting would).
+        """
+        with self._slot_lock:
+            executor_id, locality = self.choose_executor(stage, split, self.busy)
+            if executor_id in tried and attempt > 0:
+                others = [e for e in self._alive_executors() if e not in tried]
+                if others:
+                    executor_id, locality = others[0], "ANY"
+            self.busy[executor_id] = self.busy.get(executor_id, 0) + 1
+            self.last_placements.append((executor_id, locality))
+        return executor_id, locality
+
+    def _release_slot(self, executor_id: str) -> None:
+        """Free the slot so late tasks of a large stage keep their locality
+        (the busy-slot leak previously degraded them to ANY)."""
+        with self._slot_lock:
+            remaining = self.busy.get(executor_id, 0) - 1
+            if remaining > 0:
+                self.busy[executor_id] = remaining
+            else:
+                self.busy.pop(executor_id, None)
+
     # -- execution -------------------------------------------------------------------
 
     def run_stage(
@@ -89,31 +168,98 @@ class TaskScheduler:
         ``max_task_retries`` times, moving the task to a different executor
         on each attempt (as Spark's blacklisting would).
         """
+        mode = self.context.config.scheduler_mode
+        if mode not in ("sequential", "threads"):
+            raise ValueError(
+                f"unknown scheduler_mode {mode!r} (expected 'sequential' or 'threads')"
+            )
+        with self._slot_lock:
+            self.last_placements = []
+            self.busy = {}
+        if mode == "threads" and len(partitions) > 1:
+            return self._run_stage_threads(stage, partitions, job_index)
+        return self._run_stage_sequential(stage, partitions, job_index)
+
+    def _run_stage_sequential(
+        self, stage: "Stage", partitions: list[int], job_index: int
+    ) -> list[Any]:
         results: dict[int, Any] = {}
-        busy: dict[str, int] = {}
-        self.last_placements = []
         for split in partitions:
-            attempt = 0
-            tried: set[str] = set()
-            while True:
-                executor_id, locality = self.choose_executor(stage, split, busy)
-                if executor_id in tried and attempt > 0:
-                    others = [e for e in self._alive_executors() if e not in tried]
-                    if others:
-                        executor_id, locality = others[0], "ANY"
-                runtime = self.context.executor_runtime(executor_id)
-                tried.add(executor_id)
-                busy[executor_id] = busy.get(executor_id, 0) + 1
-                self.last_placements.append((executor_id, locality))
-                try:
-                    results[split] = runtime.run_task(
-                        stage.stage_id, split, attempt, job_index, stage.task(split)
-                    )
-                    break
-                except FetchFailedError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 - retry any task error
-                    attempt += 1
-                    if attempt > self.context.config.max_task_retries:
-                        raise TaskFailure(stage.stage_id, split, exc) from exc
+            results[split] = self._run_task_with_retries(stage, split, job_index)
         return [results[p] for p in partitions]
+
+    def _run_stage_threads(
+        self, stage: "Stage", partitions: list[int], job_index: int
+    ) -> list[Any]:
+        """Launch the stage's tasks onto a bounded thread pool.
+
+        The first failure (FetchFailedError / TaskFailure / scheduler error)
+        sets the cancellation event so queued siblings abort before running
+        and retries stop; already-running tasks drain (Python threads cannot
+        be interrupted). FetchFailedError wins over collateral task errors
+        when both occur, because the DAG scheduler can *recover* from it by
+        recomputing parents — mirroring Spark, where a fetch failure
+        supersedes the task-level error it usually causes.
+        """
+        width = min(self.max_concurrent_tasks(), len(partitions))
+        cancel = threading.Event()
+        results: dict[int, Any] = {}
+        fetch_failures: list[FetchFailedError] = []
+        other_failures: list[Exception] = []
+        with ThreadPoolExecutor(
+            max_workers=max(1, width), thread_name_prefix=f"stage-{stage.stage_id}"
+        ) as pool:
+            futures = {
+                pool.submit(
+                    self._run_task_with_retries, stage, split, job_index, cancel
+                ): split
+                for split in partitions
+            }
+            for fut in as_completed(futures):
+                split = futures[fut]
+                try:
+                    results[split] = fut.result()
+                except (StageCancelled, CancelledError):
+                    pass
+                except FetchFailedError as failure:
+                    fetch_failures.append(failure)
+                except Exception as exc:  # noqa: BLE001 - collected, re-raised below
+                    other_failures.append(exc)
+                if (fetch_failures or other_failures) and not cancel.is_set():
+                    cancel.set()
+                    for pending in futures:
+                        pending.cancel()
+        if fetch_failures:
+            raise fetch_failures[0]
+        if other_failures:
+            raise other_failures[0]
+        return [results[p] for p in partitions]
+
+    def _run_task_with_retries(
+        self,
+        stage: "Stage",
+        split: int,
+        job_index: int,
+        cancel: "threading.Event | None" = None,
+    ) -> Any:
+        """One task's attempt loop, shared by both modes."""
+        attempt = 0
+        tried: set[str] = set()
+        while True:
+            if cancel is not None and cancel.is_set():
+                raise StageCancelled(stage.stage_id)
+            executor_id, _locality = self._acquire_slot(stage, split, tried, attempt)
+            tried.add(executor_id)
+            try:
+                runtime = self.context.executor_runtime(executor_id)
+                return runtime.run_task(
+                    stage.stage_id, split, attempt, job_index, stage.task(split)
+                )
+            except FetchFailedError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - retry any task error
+                attempt += 1
+                if attempt > self.context.config.max_task_retries:
+                    raise TaskFailure(stage.stage_id, split, exc) from exc
+            finally:
+                self._release_slot(executor_id)

@@ -123,8 +123,12 @@ class ShuffleManager:
         ctx.shuffle_bytes_written += sum(sizes.values())
         output = MapOutput(executor_id=ctx.executor_id, buckets=buckets, sizes=sizes)
         with self._lock:
-            slots = self._outputs[dep.shuffle_id]
-            slots[map_id] = output
+            slots = self._outputs.get(dep.shuffle_id)
+            if slots is not None:
+                slots[map_id] = output
+            # else: the shuffle was unregistered while this map task ran;
+            # drop the output — readers will see a missing map and the DAG
+            # scheduler recomputes after re-registration.
         _ = num_reduces  # documented invariant: bucket ids < num_reduces
 
     # -- reduce side ----------------------------------------------------------------

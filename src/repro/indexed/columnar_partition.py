@@ -234,6 +234,11 @@ class ColumnarIndexedPartition:
         for _key, pointer in self.ctrie.items():
             yield from self._walk_chain(pointer)
 
+    def scan_rows(self) -> list[tuple]:
+        """Full scan as a list (same API as IndexedPartition.scan_rows);
+        :meth:`iter_rows` already vectorizes when contiguous."""
+        return list(self.iter_rows())
+
     def scan_columns(self, names: "list[str]") -> "dict[str, np.ndarray] | None":
         """Vectorized column access over visible rows, or None when the
         version is non-contiguous (diverged sibling wrote into a shared

@@ -196,7 +196,7 @@ class IndexedDataFrame:
         tuples = [
             row
             for part_rows in self.session.context.run_job(
-                self.rdd, lambda it, _ctx: list(next(iter(it)).iter_rows())
+                self.rdd, lambda it, _ctx: next(iter(it)).scan_rows()
             )
             for row in part_rows
         ]

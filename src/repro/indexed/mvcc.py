@@ -75,6 +75,10 @@ class CopyOnWriteVersioning:
             child.ctrie.insert(key, pointer)
         child.row_count = parent.row_count
         child.data_bytes = parent.data_bytes
+        # The byte-identical copy preserves the parent's sequential-scan
+        # validity (built batches bypassed _append_bytes bookkeeping).
+        child.contiguous = parent.contiguous
+        child._watermarks = list(parent._watermarks)
         return child
 
 

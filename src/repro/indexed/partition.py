@@ -44,6 +44,7 @@ class IndexedPartition:
         "batch_size",
         "batches",
         "codec",
+        "contiguous",
         "ctrie",
         "data_bytes",
         "hash_string_keys",
@@ -52,6 +53,7 @@ class IndexedPartition:
         "row_count",
         "schema",
         "version",
+        "_watermarks",
     )
 
     def __init__(
@@ -74,6 +76,13 @@ class IndexedPartition:
         self.version = version
         self.row_count = 0
         self.data_bytes = 0
+        # Sequential-scan validity (same idea as the columnar partition's
+        # watermarks): every byte below a batch's watermark belongs to a row
+        # visible in *this* version. A diverged sibling writing into a
+        # shared tail batch breaks contiguity, and full scans fall back to
+        # the chain walk.
+        self.contiguous = True
+        self._watermarks: list[int] = []
 
     # -- key handling -------------------------------------------------------------
 
@@ -90,7 +99,9 @@ class IndexedPartition:
         if self.batches:
             offset = self.batches[-1].append(data)
             if offset is not None:
-                return len(self.batches) - 1, offset
+                batch_idx = len(self.batches) - 1
+                self._note_write(batch_idx, offset, len(data))
+                return batch_idx, offset
         batch = RowBatch(self.batch_size)
         offset = batch.append(data)
         if offset is None:
@@ -98,7 +109,19 @@ class IndexedPartition:
                 f"encoded row ({len(data)} B) larger than batch size ({self.batch_size} B)"
             )
         self.batches.append(batch)
+        self._note_write(len(self.batches) - 1, offset, len(data))
         return len(self.batches) - 1, offset
+
+    def _note_write(self, batch_idx: int, offset: int, size: int) -> None:
+        """Advance the scan watermark, or mark the version non-contiguous
+        when a diverged sibling claimed space in between."""
+        wm = self._watermarks
+        while batch_idx >= len(wm):
+            wm.append(0)
+        if offset == wm[batch_idx]:
+            wm[batch_idx] = offset + size
+        else:
+            self.contiguous = False
 
     def insert_row(self, row: tuple) -> None:
         """Append one row; updates cTrie head and backward pointer."""
@@ -153,25 +176,21 @@ class IndexedPartition:
             yield row
 
     def lookup(self, key: Any) -> list[tuple]:
-        """All rows with this key, newest first (cTrie search + chain walk)."""
+        """All rows with this key, newest first (cTrie search + chain walk).
+
+        The chain is decoded by the compiled chain kernel
+        (:meth:`RowCodec.decode_chain`): one Python-level call per lookup
+        instead of one decode per row.
+        """
         pointer = self.ctrie.lookup(self.index_key(key), NULL_POINTER)
         if pointer == NULL_POINTER:
             return []
+        rows = self.codec.decode_chain(self.batches, pointer)
         if self.key_is_string and self.hash_string_keys:
             # Hash collisions: verify the actual key column.
             key_ord = self.key_ordinal
-            return [r for r in self._walk_chain(pointer) if r[key_ord] == key]
-        # Hot path: inline chain walk (no generator frame per row).
-        decode = self.codec.decode
-        batches = self.batches
-        out: list[tuple] = []
-        append = out.append
-        while pointer != NULL_POINTER:
-            row, pointer, _ = decode(
-                batches[(pointer >> 40) & 0xFFFFFF].buf, (pointer >> 14) & 0x3FFFFFF
-            )
-            append(row)
-        return out
+            return [r for r in rows if r[key_ord] == key]
+        return rows
 
     def lookup_many(self, keys: "Iterator[Any] | list[Any]") -> dict[Any, list[tuple]]:
         """Batch lookup: each distinct key's chain is decoded exactly once.
@@ -189,8 +208,27 @@ class IndexedPartition:
     def iter_rows(self) -> Iterator[tuple]:
         """Full scan: walk every key's chain (row-wise decode: the cost that
         makes projections slower than the columnar baseline, Fig. 8)."""
+        decode_chain = self.codec.decode_chain
+        batches = self.batches
         for _key, pointer in self.ctrie.items():
-            yield from self._walk_chain(pointer)
+            yield from decode_chain(batches, pointer)
+
+    def scan_rows(self) -> list[tuple]:
+        """Full scan, batch-at-a-time: decode each row batch in one compiled
+        pass (:meth:`RowCodec.decode_all`) when this version is contiguous —
+        every byte below the watermarks is a visible row. Non-contiguous
+        versions (a diverged sibling wrote into a shared batch) fall back to
+        the per-chain walk. Row *set* equals ``iter_rows``; order is
+        insertion order rather than index order.
+        """
+        if not self.contiguous:
+            return list(self.iter_rows())
+        decode_all = self.codec.decode_all
+        out: list[tuple] = []
+        for batch, watermark in zip(self.batches, self._watermarks):
+            if watermark:
+                out.extend(decode_all(batch.buf, watermark))
+        return out
 
     def contains_key(self, key: Any) -> bool:
         if self.key_is_string and self.hash_string_keys:
@@ -216,6 +254,8 @@ class IndexedPartition:
         child.version = new_version
         child.row_count = self.row_count
         child.data_bytes = self.data_bytes
+        child.contiguous = self.contiguous
+        child._watermarks = list(self._watermarks)
         return child
 
     # -- accounting (Fig. 11) --------------------------------------------------------------

@@ -68,6 +68,11 @@ class RowCodec:
         # to this schema is generated and compiled once; it returns None for
         # rows with nulls, which fall back to the generic per-field path.
         self._fast_decode = _compile_fast_decoder(self._segments, self.null_bitmap_bytes)
+        # Batch-at-a-time kernels: one compiled call decodes a whole buffer
+        # (sequential scan) or a whole backward-pointer chain (lookup/probe)
+        # instead of re-entering Python per row.
+        self._batch_scan = _compile_batch_scanner(self._segments, self.null_bitmap_bytes)
+        self._chain_walk = _compile_chain_walker(self._segments, self.null_bitmap_bytes)
 
     # -- encode -----------------------------------------------------------------
 
@@ -152,6 +157,30 @@ class RowCodec:
                 values.append(value)
         return tuple(values), prev_ptr, ROW_HEADER_SIZE + row_len
 
+    def decode_all(
+        self, buf: "bytes | bytearray | memoryview", end: "int | None" = None
+    ) -> list[tuple]:
+        """Decode every record laid back-to-back in ``buf[0:end]``.
+
+        One compiled pass over a whole row batch — the batch-at-a-time
+        kernel behind full scans. Rows with nulls fall back (per record) to
+        the generic decoder; everything else is straight-line generated
+        code, which is what makes a multi-threaded scan worth its GIL time.
+        ``end`` defaults to ``len(buf)``; pass :attr:`RowBatch.used` for
+        batches with slack capacity.
+        """
+        return self._batch_scan(buf, len(buf) if end is None else end, self._decode_generic)
+
+    def decode_chain(self, batches: list, pointer: int) -> list[tuple]:
+        """Decode a whole backward-pointer chain in one compiled call.
+
+        ``batches`` is the partition's RowBatch list; ``pointer`` a packed
+        64-bit pointer (see :mod:`repro.indexed.pointers`). Returns rows
+        newest-first, exactly as the per-row chain walk would. This is the
+        kernel under point lookups and the indexed join's probe loop.
+        """
+        return self._chain_walk(batches, pointer, self._decode_generic)
+
     def record_size(self, buf: "bytes | bytearray | memoryview", offset: int) -> int:
         return ROW_HEADER_SIZE + HEADER_ROW_LEN.unpack_from(buf, offset + 8)[0]
 
@@ -207,6 +236,193 @@ def _compile_fast_decoder(
     lines.append(f"    return out, prev_ptr, {ROW_HEADER_SIZE} + row_len")
     exec("\n".join(lines), ns)  # noqa: S102 - controlled, schema-derived source
     return ns["_fast"]
+
+
+def _kernel_prefix(
+    segments: list[tuple[str, Any, int]], null_bitmap_bytes: int
+) -> tuple[Any, int, list[tuple[str, Any, int]]]:
+    """Build the combined per-record prefix struct for the batch kernels.
+
+    One ``Struct`` covering header (prev_ptr + row_len), the null bitmap
+    (as ``B`` bytes, so the null check runs on already-unpacked ints), and
+    the leading run of fixed-width fields — a single C call extracts all of
+    it. Returns (prefix_struct, leading_field_count, remaining_segments).
+    """
+    fmt = "<QH" + "B" * null_bitmap_bytes
+    leading = 0
+    rest = segments
+    if segments and segments[0][0] == "f":
+        st = segments[0][1]
+        fmt += st.format.lstrip("<")
+        leading = segments[0][2]
+        rest = segments[1:]
+    return struct.Struct(fmt), leading, rest
+
+
+def _rest_segment_lines(
+    rest: list[tuple[str, Any, int]], ns: dict[str, Any], indent: str
+) -> list[str]:
+    """Generated-source fragment decoding the segments after the prefix
+    struct, starting at ``p`` and extending ``row``.
+
+    Strings are sliced with plain byte arithmetic (no Struct call); when
+    the record's *final* field is a string its end is already known from
+    the row length (``rec_end``), so even the 2-byte length prefix is
+    skipped.
+    """
+    lines: list[str] = []
+    for i, (kind, st, _count) in enumerate(rest):
+        if kind == "f":
+            ns[f"_s{i}"] = st
+            lines.append(f"{indent}row += _s{i}.unpack_from(buf, p)")
+            lines.append(f"{indent}p += {st.size}")
+        elif i == len(rest) - 1:
+            # Final string: ends exactly at rec_end (defined by the caller).
+            lines.append(f'{indent}row += (str(buf[p + 2:rec_end], "utf-8"),)')
+        else:
+            lines.append(f"{indent}_e = p + 2 + (buf[p] | (buf[p + 1] << 8))")
+            lines.append(f'{indent}row += (str(buf[p + 2:_e], "utf-8"),)')
+            lines.append(f"{indent}p = _e")
+    return lines
+
+
+def _null_check_expr(null_bitmap_bytes: int, first_index: int) -> str:
+    """Null test over the bitmap ints unpacked by the prefix struct."""
+    return " or ".join(f"vals[{first_index + i}]" for i in range(null_bitmap_bytes))
+
+
+def _compile_batch_scanner(
+    segments: list[tuple[str, Any, int]], null_bitmap_bytes: int
+) -> Callable[[Any, int, Any], list[tuple]]:
+    """Generate the sequential whole-buffer scan kernel for one schema.
+
+    The generated function walks records back-to-back from offset 0 to
+    ``end`` in a single compiled loop; each null-free record costs one
+    prefix-struct unpack (header + bitmap + leading fixed fields in one C
+    call) plus one unpack per remaining segment — no per-row Python
+    function call, no per-row method dispatch. String-free schemas advance
+    by a constant stride. Null-bearing records fall back (per record) to
+    the passed generic decoder.
+    """
+    pre, leading, rest = _kernel_prefix(segments, null_bitmap_bytes)
+    k = 2 + null_bitmap_bytes  # vals[k:] = leading fixed-field values
+    ns: dict[str, Any] = {"_pre": pre, "_u16": _U16}
+    lines = ["def _scan(buf, end, generic):"]
+    if not rest:
+        # Fixed-width schemas: when every record is full size, the whole
+        # buffer is one aligned array of records and decodes with a single
+        # iter_unpack comprehension. Verify alignment exactly by checking
+        # the strided row_len bytes: any null shortens its record, and the
+        # first short record's real row_len sits precisely on the strided
+        # offset being tested, so a mixed buffer can't pass by accident.
+        row_len = pre.size - ROW_HEADER_SIZE
+        ns["_lo"] = bytes([row_len & 0xFF])
+        ns["_hi"] = bytes([row_len >> 8])
+        lines += [
+            f"    if end and end % {pre.size} == 0:",
+            f"        n = end // {pre.size}",
+            f"        if bytes(buf[8:end:{pre.size}]) == _lo * n and "
+            f"bytes(buf[9:end:{pre.size}]) == _hi * n:",
+            f"            return [v[{k}:] for v in _pre.iter_unpack(buf[:end])]",
+        ]
+    lines += [
+        "    out = []",
+        "    append = out.append",
+        "    pos = 0",
+        # A record with nulls can be *shorter* than the prefix struct, so
+        # the combined unpack could overrun at the buffer tail. Keep the
+        # hot loop guard-free by bounding it to positions where a full
+        # prefix is guaranteed to fit; the tail loop below decodes any
+        # remaining short records generically.
+        f"    safe = end - {pre.size}",
+        "    while pos <= safe:",
+        "        vals = _pre.unpack_from(buf, pos)",
+        f"        if {_null_check_expr(null_bitmap_bytes, 2)}:",
+        "            row, _ptr, _sz = generic(buf, pos)",
+        "            append(row)",
+        "            pos += _sz",
+        "            continue",
+    ]
+    if rest:
+        lines += [
+            f"        rec_end = pos + {ROW_HEADER_SIZE} + vals[1]",
+            f"        p = pos + {pre.size}",
+            f"        row = vals[{k}:]",
+        ]
+        lines += _rest_segment_lines(rest, ns, "        ")
+        lines += [
+            "        append(row)",
+            "        pos = rec_end",
+        ]
+    else:
+        # Fixed-width records: constant stride, prefix covers everything.
+        lines += [
+            f"        append(vals[{k}:])",
+            f"        pos += {pre.size}",
+        ]
+    lines += [
+        "    while pos < end:",
+        "        row, _ptr, _sz = generic(buf, pos)",
+        "        append(row)",
+        "        pos += _sz",
+        "    return out",
+    ]
+    _ = leading
+    exec("\n".join(lines), ns)  # noqa: S102 - controlled, schema-derived source
+    return ns["_scan"]
+
+
+#: Chain terminator baked into the chain-walk kernel (pointers.NULL_POINTER;
+#: duplicated here to keep the codec import-free of the pointer module).
+_NULL_POINTER = (1 << 64) - 1
+
+
+def _compile_chain_walker(
+    segments: list[tuple[str, Any, int]], null_bitmap_bytes: int
+) -> Callable[[Any, int, Any], list[tuple]]:
+    """Generate the backward-pointer chain kernel for one schema.
+
+    Follows the per-key linked list across batches inside one compiled
+    loop (pointer field extraction and the prefix-struct unpack inlined),
+    so a lookup or join probe decodes its whole chain with a single
+    Python-level call.
+    """
+    pre, _leading, rest = _kernel_prefix(segments, null_bitmap_bytes)
+    k = 2 + null_bitmap_bytes
+    ns: dict[str, Any] = {"_pre": pre, "_u16": _U16}
+    lines = [
+        "def _chain(batches, pointer, generic):",
+        "    out = []",
+        "    append = out.append",
+        f"    while pointer != {_NULL_POINTER}:",
+        "        buf = batches[(pointer >> 40) & 0xFFFFFF].buf",
+        "        pos = (pointer >> 14) & 0x3FFFFFF",
+        # Same tail guard as the batch scanner: null records can be shorter
+        # than the prefix struct, and this one may end the buffer.
+        f"        if len(buf) - pos < {pre.size}:",
+        "            row, pointer, _sz = generic(buf, pos)",
+        "            append(row)",
+        "            continue",
+        "        vals = _pre.unpack_from(buf, pos)",
+        f"        if {_null_check_expr(null_bitmap_bytes, 2)}:",
+        "            row, pointer, _sz = generic(buf, pos)",
+        "            append(row)",
+        "            continue",
+        "        pointer = vals[0]",
+    ]
+    if rest:
+        lines += [
+            f"        rec_end = pos + {ROW_HEADER_SIZE} + vals[1]",
+            f"        p = pos + {pre.size}",
+            f"        row = vals[{k}:]",
+        ]
+        lines += _rest_segment_lines(rest, ns, "        ")
+        lines.append("        append(row)")
+    else:
+        lines.append(f"        append(vals[{k}:])")
+    lines.append("    return out")
+    exec("\n".join(lines), ns)  # noqa: S102 - controlled, schema-derived source
+    return ns["_chain"]
 
 
 def _build_segments(schema: Schema) -> list[tuple[str, Any, int]]:
