@@ -62,6 +62,49 @@ def test_fig12_latency_returns_to_normal(fig12_env):
     assert sorted(joined.collect_tuples()) == expected
 
 
+def test_fig12_chaos_run_attributes_recovery_cost():
+    """Beyond the paper's manual kill: the chaos-hardened variant — threads
+    mode, executor killed *mid-task-stream*, replacement enabled — and the
+    recovery-event log reporting what recovery cost, per query."""
+    rows = snb.generate_snb_edges(ROWS // 1000)
+    pair = build_pair(
+        rows,
+        snb.EDGE_SCHEMA,
+        "edge_source",
+        config=bench_config(
+            scheduler_mode="threads",
+            executor_replacement=True,
+            executor_restart_delay_tasks=8,
+        ),
+        name="edges",
+    )
+    ctx = pair.session.context
+    keys = snb.sample_probe_keys(rows, max(1, ROWS // 10000))
+    probe = probe_df(pair.session, keys)
+    joined = probe.join(pair.indexed.to_df(), on=("k", "edge_source"))
+    expected = sorted(joined.collect_tuples())
+
+    victim = ctx.alive_executor_ids()[0]
+    ctx.faults.fail_executor_at_task(victim, ctx.faults.task_launches + 20)
+    timings = []
+    for _ in range(20):
+        t0 = time.perf_counter()
+        got = joined.collect_tuples()
+        timings.append(time.perf_counter() - t0)
+        assert sorted(got) == expected  # every query correct through recovery
+
+    summary = ctx.metrics.recovery_summary()
+    assert summary.get("executor_lost", 0) >= 1
+    assert summary.get("executor_replaced", 0) >= 1
+    assert victim in ctx.alive_executor_ids()  # the cluster healed
+    cost = ctx.metrics.recovery_cost_seconds()
+    print(
+        f"\nfig12-chaos: recovery events {summary}, "
+        f"attributed rebuild cost {cost * 1e3:.2f} ms, "
+        f"query latency min/max {min(timings) * 1e3:.2f}/{max(timings) * 1e3:.2f} ms"
+    )
+
+
 def _timed(fn):
     t0 = time.perf_counter()
     fn()

@@ -1,35 +1,129 @@
-"""Executor failure injection (paper Fig. 12).
+"""Fault injection: executor kills, chaos-style mid-stage failures (Fig. 12).
 
 The Fig. 12 experiment manually kills a Spark executor holding 4 indexed
 partitions in the middle of a 200-query run; the query in flight pays the
 index-recreation cost (~13 s vs ~1 s) and subsequent queries run at normal
-speed. :class:`FaultInjector` reproduces the "manually kill" part: a
-predicate decides, before each task launch, whether an executor should die
-now. The engine then drops the executor's cached blocks and relies on
-lineage recomputation — exactly Spark's recovery path.
+speed. :class:`FaultInjector` reproduces the "manually kill" part — and,
+beyond the paper, acts as a chaos layer for hardening the concurrent
+runtime:
+
+* **job-boundary kills** (:meth:`fail_executor_at_job`) — the original
+  Fig. 12 scenario;
+* **mid-stage kills** (:meth:`fail_executor_at_task`) — the executor dies
+  while its stage still has tasks in flight, so siblings hit
+  dead-executor errors and fetch failures concurrently;
+* **transient task failures** (``task_failure_prob``) — a task attempt
+  raises a retryable :class:`ChaosTaskError` before running;
+* **stragglers** (``straggler_prob`` / :meth:`delay_task_once`) — a task
+  sleeps before running, which is what speculative execution exists to
+  beat;
+* **flaky shuffle fetches** (``fetch_failure_prob``) — a reduce-side fetch
+  raises a FetchFailedError even though the map output is present, forcing
+  the DAG scheduler through its (cheap) resubmit path.
+
+**Determinism.** Probabilistic decisions are not drawn from one shared RNG
+stream (whose order would depend on thread interleaving) but from a hash of
+``(seed, decision site)``: a task decision is keyed by ``(stage_id, split,
+attempt)``, a fetch decision by ``(shuffle_id, reduce_id, per-reduce fetch
+count)``. A given seed therefore injects the *same* faults at the same
+logical sites in sequential and threads mode, run after run.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
 
+class ChaosTaskError(RuntimeError):
+    """An injected *transient* task failure (retryable, like a flaky node)."""
+
+
+@dataclass
+class ChaosDecision:
+    """What the chaos layer wants done to one task launch."""
+
+    #: Executors that must die now (mid-stage if tasks are in flight).
+    kill_executors: list[str] = field(default_factory=list)
+    #: Transient exception to raise instead of running the task.
+    fail: ChaosTaskError | None = None
+    #: Seconds to sleep before running the task (straggler injection).
+    delay_seconds: float = 0.0
+
+
+_NO_CHAOS = ChaosDecision()
+
+
+def _draw(seed: int, *site: object) -> float:
+    """Uniform [0,1) keyed by the decision site, stable across runs/threads.
+
+    ``random.Random`` seeded with a string hashes it with SHA-512, so this
+    is independent of ``PYTHONHASHSEED``.
+    """
+    return random.Random("|".join(str(s) for s in (seed, *site))).random()
+
+
 @dataclass
 class FaultInjector:
-    """Schedules executor failures.
+    """Schedules executor failures and chaos-style fault injection.
 
     Use :meth:`fail_executor_at_job` for the Fig. 12 scenario ("kill
-    executor X while job N runs") or :meth:`fail_when` for custom
-    predicates. ``check`` is consulted by the scheduler with the current
-    job index; it returns the executor to kill, at most once per schedule.
+    executor X while job N runs"), :meth:`fail_executor_at_task` to kill
+    mid-stage at the Nth task launch, or :meth:`fail_when` for custom
+    predicates. ``check`` is consulted at job boundaries;
+    :meth:`on_task_start` / :meth:`on_fetch` are consulted by the task
+    scheduler and shuffle manager on the hot path (cheap no-ops unless
+    chaos is configured).
     """
+
+    seed: int = 0
+    task_failure_prob: float = 0.0
+    fetch_failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_delay: float = 0.02
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
     _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: (job_index, executor_id) of every kill this injector fired.
     killed: list[tuple[int, str]] = field(default_factory=list)
+    #: (task_launch_index, executor_id) kills waiting for the counter.
+    _task_kills: list[tuple[int, str]] = field(default_factory=list)
+    _task_launches: int = 0
+    #: One-shot targeted straggler injections: (split, delay, stage_id|None).
+    _targeted_delays: list[tuple[int, float, int | None]] = field(default_factory=list)
+    _fetch_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: shuffle_id -> first-seen dense index. Shuffle ids are allocated from a
+    #: process-global counter, so the raw id is not stable across contexts;
+    #: draws are keyed by this normalized index instead, making the fault
+    #: schedule reproducible for a repeated workload in a fresh context.
+    _shuffle_order: dict[int, int] = field(default_factory=dict)
+
+    # -- configuration -------------------------------------------------------------
+
+    def configure(
+        self,
+        seed: int | None = None,
+        task_failure_prob: float | None = None,
+        fetch_failure_prob: float | None = None,
+        straggler_prob: float | None = None,
+        straggler_delay: float | None = None,
+    ) -> None:
+        with self._lock:
+            if seed is not None:
+                self.seed = seed
+            if task_failure_prob is not None:
+                self.task_failure_prob = task_failure_prob
+            if fetch_failure_prob is not None:
+                self.fetch_failure_prob = fetch_failure_prob
+            if straggler_prob is not None:
+                self.straggler_prob = straggler_prob
+            if straggler_delay is not None:
+                self.straggler_delay = straggler_delay
+
+    # -- scheduled kills -----------------------------------------------------------
 
     def fail_executor_at_job(self, executor_id: str, job_index: int) -> None:
         """Kill ``executor_id`` when job number ``job_index`` starts."""
@@ -38,6 +132,12 @@ class FaultInjector:
     def fail_when(self, predicate: Callable[[int], bool], executor_id: str) -> None:
         with self._lock:
             self._scheduled.append((predicate, executor_id))
+
+    def fail_executor_at_task(self, executor_id: str, task_launch_index: int) -> None:
+        """Kill ``executor_id`` at the Nth task launch — *mid-stage* when
+        the stage has more tasks than have launched so far."""
+        with self._lock:
+            self._task_kills.append((task_launch_index, executor_id))
 
     def check(self, job_index: int) -> list[str]:
         """Return executors that must die now (each schedule fires once)."""
@@ -52,8 +152,87 @@ class FaultInjector:
                     self.killed.append((job_index, executor_id))
         return victims
 
+    # -- targeted stragglers ---------------------------------------------------------
+
+    def delay_task_once(self, split: int, delay: float, stage_id: int | None = None) -> None:
+        """Make the next non-speculative launch of partition ``split``
+        (optionally only within ``stage_id``) sleep ``delay`` seconds."""
+        with self._lock:
+            self._targeted_delays.append((split, delay, stage_id))
+
+    # -- hot-path hooks ----------------------------------------------------------------
+
+    @property
+    def task_launches(self) -> int:
+        with self._lock:
+            return self._task_launches
+
+    def on_task_start(
+        self, stage_id: int, split: int, attempt: int, job_index: int, salt: int = 0
+    ) -> ChaosDecision:
+        """Chaos decision for one task launch.
+
+        ``salt`` distinguishes a speculative copy from the original attempt
+        so the copy does not inherit the original's straggler draw (which
+        would defeat speculation).
+        """
+        with self._lock:
+            self._task_launches += 1
+            n = self._task_launches
+            active = (
+                self._task_kills
+                or self._targeted_delays
+                or self.task_failure_prob > 0
+                or self.straggler_prob > 0
+            )
+            if not active:
+                return _NO_CHAOS
+            decision = ChaosDecision()
+            remaining: list[tuple[int, str]] = []
+            for at, executor_id in self._task_kills:
+                if n >= at:
+                    decision.kill_executors.append(executor_id)
+                    self.killed.append((job_index, executor_id))
+                else:
+                    remaining.append((at, executor_id))
+            self._task_kills = remaining
+            if salt == 0:
+                for i, (t_split, t_delay, t_stage) in enumerate(self._targeted_delays):
+                    if t_split == split and (t_stage is None or t_stage == stage_id):
+                        decision.delay_seconds = max(decision.delay_seconds, t_delay)
+                        del self._targeted_delays[i]
+                        break
+        if self.task_failure_prob > 0 and attempt == 0:
+            # Only first attempts fail: "transient" means the retry succeeds.
+            if _draw(self.seed, "task", stage_id, split, salt) < self.task_failure_prob:
+                decision.fail = ChaosTaskError(
+                    f"chaos: injected transient failure (stage={stage_id}, split={split})"
+                )
+        if self.straggler_prob > 0 and attempt == 0 and decision.fail is None:
+            if _draw(self.seed, "straggle", stage_id, split, salt) < self.straggler_prob:
+                decision.delay_seconds = max(decision.delay_seconds, self.straggler_delay)
+        return decision
+
+    def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
+        """True when this fetch should fail flakily (map output intact)."""
+        if self.fetch_failure_prob <= 0:
+            return False
+        with self._lock:
+            norm = self._shuffle_order.setdefault(shuffle_id, len(self._shuffle_order))
+            n = self._fetch_counts.get((shuffle_id, reduce_id), 0) + 1
+            self._fetch_counts[(shuffle_id, reduce_id)] = n
+        return _draw(self.seed, "fetch", norm, reduce_id, n) < self.fetch_failure_prob
+
     def reset(self) -> None:
         with self._lock:
             self._scheduled.clear()
             self._fired.clear()
             self.killed.clear()
+            self._task_kills.clear()
+            self._targeted_delays.clear()
+            self._fetch_counts.clear()
+            self._shuffle_order.clear()
+            self._task_launches = 0
+            self.task_failure_prob = 0.0
+            self.fetch_failure_prob = 0.0
+            self.straggler_prob = 0.0

@@ -64,6 +64,45 @@ class StageMetrics:
         return sum(t.compute_seconds for t in self.tasks)
 
 
+#: The recovery-event taxonomy (DESIGN.md §8). Everything the runtime does
+#: to survive a failure lands here, so a Fig. 12-style run can report *what*
+#: recovery cost — not just total wall clock.
+RECOVERY_EVENT_KINDS = (
+    "executor_lost",         # an executor died (manual, chaos, or scheduled)
+    "executor_replaced",     # a replacement registered (fresh block store)
+    "task_retry",            # a task attempt failed retryably and backed off
+    "task_blacklist",        # a retry was moved off an executor that failed it
+    "stage_budget_exhausted",  # a stage burned its shared retry budget
+    "speculative_launch",    # a straggler got a second copy elsewhere
+    "speculative_win",       # the copy finished first (original discarded)
+    "speculative_loss",      # the original finished first (copy discarded)
+    "stage_resubmit",        # DAG scheduler re-ran parents after a fetch failure
+    "job_failed",            # a job exhausted its stage attempts
+    "fetch_failed",          # a reduce fetch found a map output missing
+    "chaos_task_failure",    # injected transient task failure
+    "chaos_fetch_failure",   # injected flaky fetch (map output intact)
+    "chaos_straggler",       # injected slow task
+    "block_recomputed",      # a lost cached block was rebuilt from lineage
+    "stale_partition_rebuilt",  # version guard refused a stale indexed copy
+)
+
+
+@dataclass
+class RecoveryEvent:
+    """One structured recovery action (kind ∈ :data:`RECOVERY_EVENT_KINDS`)."""
+
+    kind: str
+    job_index: int = -1
+    stage_id: int | None = None
+    partition: int | None = None
+    executor_id: str | None = None
+    #: Attributable cost of the action (e.g. a block rebuild), seconds.
+    seconds: float = 0.0
+    detail: str = ""
+    #: Monotonic sequence number assigned by the collector.
+    seq: int = 0
+
+
 class MetricsCollector:
     """Thread-safe sink for task metrics plus the makespan model."""
 
@@ -79,6 +118,7 @@ class MetricsCollector:
         self._lock = threading.Lock()
         self.stages: dict[int, StageMetrics] = {}
         self.job_makespans: list[float] = []
+        self.recovery_events: list[RecoveryEvent] = []
 
     def record(self, metrics: TaskMetrics) -> None:
         with self._lock:
@@ -86,10 +126,57 @@ class MetricsCollector:
                 metrics
             )
 
+    def record_recovery(
+        self,
+        kind: str,
+        job_index: int = -1,
+        stage_id: int | None = None,
+        partition: int | None = None,
+        executor_id: str | None = None,
+        seconds: float = 0.0,
+        detail: str = "",
+    ) -> RecoveryEvent:
+        """Append one structured recovery event (thread-safe)."""
+        event = RecoveryEvent(
+            kind=kind,
+            job_index=job_index,
+            stage_id=stage_id,
+            partition=partition,
+            executor_id=executor_id,
+            seconds=seconds,
+            detail=detail,
+        )
+        with self._lock:
+            event.seq = len(self.recovery_events)
+            self.recovery_events.append(event)
+        return event
+
+    def recovery_summary(self) -> dict[str, int]:
+        """Event counts by kind (only kinds that occurred)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for e in self.recovery_events:
+                counts[e.kind] = counts.get(e.kind, 0) + 1
+            return counts
+
+    def recovery_events_for_job(self, job_index: int) -> list[RecoveryEvent]:
+        with self._lock:
+            return [e for e in self.recovery_events if e.job_index == job_index]
+
+    def recovery_cost_seconds(self, job_index: int | None = None) -> float:
+        """Total attributable recovery cost (optionally for one job)."""
+        with self._lock:
+            return sum(
+                e.seconds
+                for e in self.recovery_events
+                if job_index is None or e.job_index == job_index
+            )
+
     def reset(self) -> None:
         with self._lock:
             self.stages.clear()
             self.job_makespans.clear()
+            self.recovery_events.clear()
             self.network.reset_counters()
 
     # ------------------------------------------------------------------ model

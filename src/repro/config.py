@@ -12,11 +12,18 @@ paper-shaped ones.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 KB = 1024
 MB = 1024 * KB
+
+
+def _default_scheduler_mode() -> str:
+    """``REPRO_SCHEDULER_MODE`` lets CI run the whole suite under either
+    execution mode (the tier-1 matrix) without touching every test."""
+    return os.environ.get("REPRO_SCHEDULER_MODE", "sequential")
 
 
 @dataclass
@@ -42,7 +49,11 @@ class Config:
         Simulated seconds a task waits for a data-local slot before being
         launched remotely (delay scheduling).
     max_task_retries:
-        Attempts per task before the job is failed.
+        Attempts per task before the job is failed. Retries back off
+        exponentially (``task_retry_backoff`` doubling per attempt, capped
+        at ``task_retry_backoff_max``) and draw from a shared per-stage
+        attempt budget (``stage_attempt_budget``) so correlated failures
+        fail the stage promptly instead of spinning blind resubmits.
     partitions_per_core:
         Rule-of-thumb multiplier when deriving parallelism from a cluster.
     scheduler_mode:
@@ -59,6 +70,26 @@ class Config:
     index_string_keys_as_hash:
         Hash string keys to 32-bit ints before inserting into the cTrie
         (Section IV-E: strings are hashed, costing extra vs primitive keys).
+    executor_replacement:
+        When True, a killed executor re-registers (fresh, empty block
+        store) after ``executor_restart_delay_tasks`` further task
+        launches — the cluster heals instead of shrinking forever. The
+        scheduler's placement and pool-width logic pick the replacement up
+        live (both consult the alive set on every decision).
+    speculation:
+        Enable speculative execution in ``"threads"`` mode: once
+        ``speculation_quantile`` of a stage's tasks have finished, tasks
+        running longer than ``speculation_multiplier`` x the median
+        completed duration (and at least ``speculation_min_runtime``
+        seconds) get a second attempt on a *different* executor.
+        First result wins; the loser is cancelled and its (idempotent)
+        side effects discarded.
+    chaos_*:
+        Deterministic fault injection (see
+        :class:`repro.cluster.faults.FaultInjector`). All decisions are
+        drawn from per-site seeded hashes (``chaos_seed``), so a given
+        seed reproduces the same failures regardless of thread
+        interleaving. Probabilities of 0 (the default) disable chaos.
     """
 
     default_parallelism: int = 8
@@ -69,9 +100,33 @@ class Config:
     locality_wait: float = 3.0
     max_task_retries: int = 4
     partitions_per_core: int = 2
-    scheduler_mode: str = "sequential"
+    scheduler_mode: str = field(default_factory=_default_scheduler_mode)
     max_concurrent_tasks: int = 0
     index_string_keys_as_hash: bool = True
+    #: Seconds of backoff before a task's first retry; doubles per attempt.
+    task_retry_backoff: float = 0.005
+    #: Upper bound on one retry's backoff sleep.
+    task_retry_backoff_max: float = 0.25
+    #: Total retry attempts a single stage run may consume across all its
+    #: tasks; 0 derives ``max(4, num_tasks) * max_task_retries``.
+    stage_attempt_budget: int = 0
+    #: Heal the cluster: killed executors come back after a delay.
+    executor_replacement: bool = False
+    #: Task launches between an executor's death and its replacement
+    #: registering (a deterministic stand-in for restart wall-clock time).
+    executor_restart_delay_tasks: int = 8
+    #: Speculative execution ("threads" mode only).
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
+    speculation_quantile: float = 0.75
+    speculation_min_runtime: float = 0.05
+    speculation_poll_interval: float = 0.02
+    #: Chaos layer: seeded, deterministic mid-stage fault injection.
+    chaos_seed: int = 0
+    chaos_task_failure_prob: float = 0.0
+    chaos_fetch_failure_prob: float = 0.0
+    chaos_straggler_prob: float = 0.0
+    chaos_straggler_delay: float = 0.02
     #: Storage format of indexed partitions: "row" (the paper's prototype,
     #: binary row batches) or "columnar" (footnote 2's alternative).
     index_storage_format: str = "row"

@@ -10,6 +10,7 @@ and forces lineage recomputation on next access.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.engine.partition import TaskContext
@@ -59,6 +60,9 @@ class BlockManagerMaster:
 
     def __init__(self) -> None:
         self._locations: dict[BlockId, list[str]] = {}
+        #: Blocks whose last replica died with its executor — consulted by
+        #: the CacheManager to attribute recomputation cost to recovery.
+        self._lost: set[BlockId] = set()
         self._lock = threading.Lock()
 
     def register(self, block_id: BlockId, executor_id: str) -> None:
@@ -66,6 +70,7 @@ class BlockManagerMaster:
             locs = self._locations.setdefault(block_id, [])
             if executor_id not in locs:
                 locs.append(executor_id)
+            self._lost.discard(block_id)
 
     def locations(self, block_id: BlockId) -> list[str]:
         with self._lock:
@@ -81,7 +86,14 @@ class BlockManagerMaster:
                     if not locs:
                         lost.append(block_id)
                         del self._locations[block_id]
+                        self._lost.add(block_id)
         return lost
+
+    def was_lost(self, block_id: BlockId) -> bool:
+        """True when the block's last replica died and it has not yet been
+        recomputed anywhere (recovery-cost attribution)."""
+        with self._lock:
+            return block_id in self._lost
 
     def remove_rdd_block(self, block_id: BlockId) -> None:
         with self._lock:
@@ -137,8 +149,24 @@ class CacheManager:
                     else:
                         ctx.shuffle_bytes_read_remote += nbytes
                     return iter(value)
-            # 3. Miss: compute from lineage, store locally, register.
+            # 3. Miss: compute from lineage, store locally, register. A miss
+            # on a block whose replica died with its executor is *recovery*
+            # work — record its cost against the in-flight job (this is the
+            # index-recreation spike a Fig. 12 run attributes per query).
+            was_lost = ctxm.block_manager_master.was_lost(block_id)
+            t0 = time.perf_counter()
             materialized = list(rdd.compute(split, ctx))
+            elapsed = time.perf_counter() - t0
             local.put(block_id, materialized)
             ctxm.block_manager_master.register(block_id, ctx.executor_id)
+            if was_lost:
+                ctxm.metrics.record_recovery(
+                    "block_recomputed",
+                    job_index=ctx.job_index,
+                    stage_id=ctx.stage_id,
+                    partition=split,
+                    executor_id=ctx.executor_id,
+                    seconds=elapsed,
+                    detail=f"rdd={rdd.rdd_id}",
+                )
             return iter(materialized)

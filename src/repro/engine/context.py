@@ -51,7 +51,13 @@ class EngineContext:
         self.network = network or NetworkModel()
         self.numa = numa or NUMAModel()
         self.metrics = MetricsCollector(self.topology, self.network, self.numa)
-        self.faults = FaultInjector()
+        self.faults = FaultInjector(
+            seed=self.config.chaos_seed,
+            task_failure_prob=self.config.chaos_task_failure_prob,
+            fetch_failure_prob=self.config.chaos_fetch_failure_prob,
+            straggler_prob=self.config.chaos_straggler_prob,
+            straggler_delay=self.config.chaos_straggler_delay,
+        )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
         }
@@ -63,6 +69,9 @@ class EngineContext:
         self._rdd_id = 0
         self._job_index = 0
         self._lock = threading.Lock()
+        #: executor_id -> task launches remaining until its replacement
+        #: registers (executor_replacement healing).
+        self._pending_restarts: dict[str, int] = {}
 
     # -- ids -------------------------------------------------------------------------
 
@@ -90,12 +99,31 @@ class EngineContext:
     def alive_executor_ids(self) -> list[str]:
         return [r.executor_id for r in self.executors.values() if r.alive]
 
-    def kill_executor(self, executor_id: str) -> None:
-        """Simulate executor loss: blocks and map outputs disappear (Fig. 12)."""
+    def kill_executor(self, executor_id: str, reason: str = "manual") -> None:
+        """Simulate executor loss: blocks and map outputs disappear (Fig. 12).
+
+        Emits an ``executor_lost`` recovery event; with
+        ``Config.executor_replacement`` enabled, schedules a replacement
+        after ``executor_restart_delay_tasks`` further task launches.
+        """
         runtime = self.executors[executor_id]
         runtime.kill()
-        self.block_manager_master.remove_executor(executor_id)
-        self.shuffle_manager.on_executor_lost(executor_id)
+        lost_blocks = self.block_manager_master.remove_executor(executor_id)
+        affected = self.shuffle_manager.on_executor_lost(executor_id)
+        self.metrics.record_recovery(
+            "executor_lost",
+            job_index=self._job_index,
+            executor_id=executor_id,
+            detail=(
+                f"reason={reason} blocks_lost={len(lost_blocks)} "
+                f"shuffles_affected={len(affected)}"
+            ),
+        )
+        if self.config.executor_replacement:
+            with self._lock:
+                self._pending_restarts[executor_id] = max(
+                    0, self.config.executor_restart_delay_tasks
+                )
 
     def invalidate_block(self, block_id: tuple[int, int]) -> None:
         """Drop a cached block everywhere (e.g. a *stale* indexed partition
@@ -105,9 +133,46 @@ class EngineContext:
         self.block_manager_master.remove_rdd_block(block_id)
 
     def restart_executor(self, executor_id: str) -> None:
-        """Bring a previously killed executor back (empty caches)."""
+        """Bring a previously killed executor back (fresh, empty block store).
+
+        The scheduler's placement and pool-width logic consult the alive
+        set on every decision, so the replacement is picked up live.
+        """
         spec = self.topology.executor(executor_id)
         self.executors[executor_id] = ExecutorRuntime(self, spec)
+        with self._lock:
+            self._pending_restarts.pop(executor_id, None)
+        self.metrics.record_recovery(
+            "executor_replaced", job_index=self._job_index, executor_id=executor_id
+        )
+
+    def note_task_launch(self) -> None:
+        """Tick replacement timers; restart executors whose delay elapsed."""
+        if not self._pending_restarts:
+            return
+        due: list[str] = []
+        with self._lock:
+            for executor_id in list(self._pending_restarts):
+                self._pending_restarts[executor_id] -= 1
+                if self._pending_restarts[executor_id] <= 0:
+                    due.append(executor_id)
+                    del self._pending_restarts[executor_id]
+        for executor_id in due:
+            if not self.executors[executor_id].alive:
+                self.restart_executor(executor_id)
+
+    def revive_for_empty_cluster(self) -> str | None:
+        """Emergency heal: with *zero* alive executors, promote the pending
+        replacement with the shortest remaining delay immediately (a task
+        cannot launch — and tick the timers — on an empty cluster)."""
+        with self._lock:
+            if not self._pending_restarts:
+                return None
+            executor_id = min(self._pending_restarts, key=self._pending_restarts.get)
+            del self._pending_restarts[executor_id]
+        if not self.executors[executor_id].alive:
+            self.restart_executor(executor_id)
+        return executor_id
 
     # -- job entry points ---------------------------------------------------------------
 
@@ -128,7 +193,7 @@ class EngineContext:
         # the run of query N"), matching the paper's manual kill.
         for victim in self.faults.check(job):
             if victim in self.executors and self.executors[victim].alive:
-                self.kill_executor(victim)
+                self.kill_executor(victim, reason="scheduled")
         return self.dag_scheduler.run_job(rdd, func, partitions, job_index=job)
 
     # -- convenience ----------------------------------------------------------------------

@@ -14,6 +14,7 @@ Two behaviours here carry the paper's story:
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.dependencies import ShuffleDependency
@@ -94,6 +95,7 @@ class DAGScheduler:
             parents=self._parent_shuffle_deps(rdd),
             func=func,
         )
+        cfg = self.context.config
         for attempt in range(self.max_stage_attempts):
             try:
                 self._ensure_parents(final, job_index)
@@ -101,6 +103,31 @@ class DAGScheduler:
             except FetchFailedError as failure:
                 # Lost map output: invalidate and retry (parents recomputed).
                 self._handle_fetch_failure(failure)
+                self.context.metrics.record_recovery(
+                    "stage_resubmit",
+                    job_index=job_index,
+                    stage_id=final.stage_id,
+                    detail=(
+                        f"attempt={attempt + 1} shuffle={failure.shuffle_id} "
+                        f"map={failure.map_id}"
+                    ),
+                )
+                # Back off between resubmits (same curve as task retries):
+                # repeated fetch failures usually mean recovery elsewhere is
+                # still in progress, so hammering helps nobody.
+                if cfg.task_retry_backoff > 0 and attempt > 0:
+                    time.sleep(
+                        min(
+                            cfg.task_retry_backoff * (2 ** (attempt - 1)),
+                            cfg.task_retry_backoff_max,
+                        )
+                    )
+        self.context.metrics.record_recovery(
+            "job_failed",
+            job_index=job_index,
+            stage_id=final.stage_id,
+            detail=f"after {self.max_stage_attempts} stage attempts",
+        )
         raise JobFailedError(f"job failed after {self.max_stage_attempts} stage attempts")
 
     def _ensure_parents(self, stage: Stage, job_index: int) -> None:

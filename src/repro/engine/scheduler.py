@@ -1,4 +1,5 @@
-"""Task scheduler: locality-aware placement, delay scheduling, retries.
+"""Task scheduler: locality-aware placement, delay scheduling, retries,
+speculation, and chaos-hardened recovery.
 
 Placement policy (Spark's levels): PROCESS_LOCAL (executor holding the
 cached block) > NODE_LOCAL (same machine) > ANY (round-robin). Delay
@@ -22,23 +23,52 @@ Execution modes (``Config.scheduler_mode``):
   are returned in partition order either way, so the two modes produce
   byte-identical query results.
 
+Recovery behaviours (all emit structured events into
+``MetricsCollector.recovery_events`` — DESIGN.md §8):
+
+* **Retry backoff + stage attempt budget.** A retryable task failure backs
+  off exponentially (``task_retry_backoff`` doubling per attempt, capped)
+  and consumes from a shared per-stage budget, so correlated failures fail
+  the stage promptly instead of spinning blind immediate resubmits.
+* **Blacklisting.** A retry avoids every executor that already failed the
+  task when an untried one is alive.
+* **Speculative execution** (``threads`` mode, ``Config.speculation``).
+  Once ``speculation_quantile`` of the stage's tasks have finished, a task
+  running longer than ``speculation_multiplier`` x the median completed
+  duration gets a second attempt on a *different* executor (a small
+  dedicated pool, so stragglers can't starve their own rescue). First
+  result wins; the loser's attempt is cancelled via its split-level event
+  and its side effects (cache puts, map-output writes) are idempotent
+  overwrites of identical content, so discarding it is safe.
+* **Dead clusters fail fast.** Zero alive executors (and no pending
+  replacements) raises :class:`NoAliveExecutorsError` — a non-retryable
+  ``JobFailedError`` — instead of burning the retry budget.
+
 The cTrie and the shuffle/block/metrics registries are all safe under
 concurrent tasks — the paper's whole point is many tasks hammering one
 indexed cache at once — so ``"threads"`` is what actually exercises the
-lock-free index. Pure-Python *per-row* loops stay GIL-bound; the real
-wall-clock win comes from pairing this mode with the batch-at-a-time
-decode kernels (:meth:`repro.indexed.row_codec.RowCodec.decode_all`).
+lock-free index.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import os
+import statistics
 import threading
-from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.engine.dag import JobFailedError
 from repro.engine.shuffle import FetchFailedError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,8 +92,23 @@ class TaskFailure(Exception):
         return f"task (stage={self.stage_id}, partition={self.partition}) failed: {self.cause}"
 
 
+class NoAliveExecutorsError(JobFailedError, RuntimeError):
+    """Every executor is dead and no replacement is pending: non-retryable."""
+
+
 class StageCancelled(Exception):
     """Internal: a sibling task failed; this task should not start/retry."""
+
+
+@dataclass
+class _TaskAttempt:
+    """Driver-side bookkeeping for one in-flight attempt (threads mode)."""
+
+    split: int
+    speculative: bool
+    start: float
+    #: Mutable holder: the worker publishes which executor it landed on.
+    executor: list = field(default_factory=lambda: [None])
 
 
 class TaskScheduler:
@@ -78,6 +123,8 @@ class TaskScheduler:
         self._slot_lock = threading.Lock()
         #: executor_id -> tasks currently occupying a slot (last stage run).
         self.busy: dict[str, int] = {}
+        #: Shared retry budget of the stage currently running.
+        self._stage_retry_budget = 0
 
     # -- placement -----------------------------------------------------------------
 
@@ -90,7 +137,14 @@ class TaskScheduler:
         """Return (executor_id, locality_level) for a task."""
         alive = self._alive_executors()
         if not alive:
-            raise RuntimeError("no alive executors")
+            # A pending replacement can still heal an otherwise-empty
+            # cluster; with none, fail the job clearly and immediately.
+            revived = self.context.revive_for_empty_cluster()
+            if revived is None:
+                raise NoAliveExecutorsError(
+                    "no alive executors and no pending replacements"
+                )
+            alive = [revived]
         preferred = [e for e in stage.rdd.preferred_locations(split) if e in alive]
         topology = self.context.topology
         if preferred:
@@ -125,22 +179,42 @@ class TaskScheduler:
     # -- slot accounting --------------------------------------------------------------
 
     def _acquire_slot(
-        self, stage: "Stage", split: int, tried: set[str], attempt: int
+        self,
+        stage: "Stage",
+        split: int,
+        tried: set[str],
+        attempt: int,
+        avoid: "set[str] | None" = None,
     ) -> tuple[str, str]:
         """Pick an executor for one task attempt and occupy one of its slots.
 
         Blacklisting: on a retry, an executor that already failed this task
         is avoided when any untried executor is alive (as Spark's
-        blacklisting would).
+        blacklisting would). ``avoid`` additionally steers a speculative
+        copy away from the executor running the original attempt.
         """
+        blacklisted_from = None
         with self._slot_lock:
             executor_id, locality = self.choose_executor(stage, split, self.busy)
-            if executor_id in tried and attempt > 0:
-                others = [e for e in self._alive_executors() if e not in tried]
+            excluded: set[str] = set(avoid or ())
+            if attempt > 0:
+                excluded |= tried
+            if executor_id in excluded:
+                others = [e for e in self._alive_executors() if e not in excluded]
                 if others:
+                    if attempt > 0 and executor_id in tried:
+                        blacklisted_from = executor_id
                     executor_id, locality = others[0], "ANY"
             self.busy[executor_id] = self.busy.get(executor_id, 0) + 1
             self.last_placements.append((executor_id, locality))
+        if blacklisted_from is not None:
+            self.context.metrics.record_recovery(
+                "task_blacklist",
+                stage_id=stage.stage_id,
+                partition=split,
+                executor_id=blacklisted_from,
+                detail=f"moved to {executor_id} on attempt {attempt}",
+            )
         return executor_id, locality
 
     def _release_slot(self, executor_id: str) -> None:
@@ -152,6 +226,14 @@ class TaskScheduler:
                 self.busy[executor_id] = remaining
             else:
                 self.busy.pop(executor_id, None)
+
+    def _consume_retry_budget(self) -> bool:
+        """Take one retry from the stage's shared budget; False when dry."""
+        with self._slot_lock:
+            if self._stage_retry_budget <= 0:
+                return False
+            self._stage_retry_budget -= 1
+            return True
 
     # -- execution -------------------------------------------------------------------
 
@@ -168,7 +250,8 @@ class TaskScheduler:
         ``max_task_retries`` times, moving the task to a different executor
         on each attempt (as Spark's blacklisting would).
         """
-        mode = self.context.config.scheduler_mode
+        cfg = self.context.config
+        mode = cfg.scheduler_mode
         if mode not in ("sequential", "threads"):
             raise ValueError(
                 f"unknown scheduler_mode {mode!r} (expected 'sequential' or 'threads')"
@@ -176,6 +259,11 @@ class TaskScheduler:
         with self._slot_lock:
             self.last_placements = []
             self.busy = {}
+            self._stage_retry_budget = (
+                cfg.stage_attempt_budget
+                if cfg.stage_attempt_budget > 0
+                else max(4, len(partitions)) * cfg.max_task_retries
+            )
         if mode == "threads" and len(partitions) > 1:
             return self._run_stage_threads(stage, partitions, job_index)
         return self._run_stage_sequential(stage, partitions, job_index)
@@ -200,40 +288,192 @@ class TaskScheduler:
         when both occur, because the DAG scheduler can *recover* from it by
         recomputing parents — mirroring Spark, where a fetch failure
         supersedes the task-level error it usually causes.
+
+        With ``Config.speculation``, stragglers get a second attempt on a
+        different executor: first result wins per split; a failure of one
+        attempt is held back while its twin is still in flight.
         """
+        cfg = self.context.config
+        metrics = self.context.metrics
         width = min(self.max_concurrent_tasks(), len(partitions))
         cancel = threading.Event()
+        spec_enabled = cfg.speculation and len(self._alive_executors()) > 1
         results: dict[int, Any] = {}
+        durations: list[float] = []
         fetch_failures: list[FetchFailedError] = []
         other_failures: list[Exception] = []
-        with ThreadPoolExecutor(
+        #: split -> a failed attempt whose twin may still win the split.
+        held_failures: dict[int, Exception] = {}
+        speculated: set[int] = set()
+        inflight: dict[Future, _TaskAttempt] = {}
+        split_cancels: dict[int, threading.Event] = {
+            p: threading.Event() for p in partitions
+        }
+        spec_pool: ThreadPoolExecutor | None = None
+
+        def abort_siblings() -> None:
+            if not cancel.is_set():
+                cancel.set()
+            for f in list(inflight):
+                f.cancel()
+
+        pool = ThreadPoolExecutor(
             max_workers=max(1, width), thread_name_prefix=f"stage-{stage.stage_id}"
-        ) as pool:
-            futures = {
-                pool.submit(
-                    self._run_task_with_retries, stage, split, job_index, cancel
-                ): split
-                for split in partitions
-            }
-            for fut in as_completed(futures):
-                split = futures[fut]
-                try:
-                    results[split] = fut.result()
-                except (StageCancelled, CancelledError):
-                    pass
-                except FetchFailedError as failure:
-                    fetch_failures.append(failure)
-                except Exception as exc:  # noqa: BLE001 - collected, re-raised below
+        )
+        try:
+            for split in partitions:
+                att = _TaskAttempt(split=split, speculative=False, start=time.perf_counter())
+                fut = pool.submit(
+                    self._run_task_with_retries,
+                    stage,
+                    split,
+                    job_index,
+                    cancel,
+                    split_cancels[split],
+                    None,
+                    att.executor,
+                    0,
+                )
+                inflight[fut] = att
+            while inflight:
+                done, _ = wait(
+                    list(inflight),
+                    timeout=cfg.speculation_poll_interval if spec_enabled else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    att = inflight.pop(fut)
+                    split = att.split
+                    try:
+                        value = fut.result()
+                    except (StageCancelled, CancelledError):
+                        continue
+                    except FetchFailedError as failure:
+                        if split in results:
+                            continue  # loser of a speculative race
+                        fetch_failures.append(failure)
+                    except NoAliveExecutorsError as failure:
+                        other_failures.append(failure)
+                    except Exception as exc:  # noqa: BLE001 - collected, re-raised below
+                        if split in results:
+                            continue  # loser of a speculative race
+                        if any(a.split == split for a in inflight.values()):
+                            held_failures[split] = exc  # twin may still win
+                            continue
+                        other_failures.append(exc)
+                    else:
+                        if split not in results:
+                            results[split] = value
+                            durations.append(time.perf_counter() - att.start)
+                            held_failures.pop(split, None)
+                            # First result wins: cancel the twin attempt.
+                            split_cancels[split].set()
+                            if att.speculative:
+                                metrics.record_recovery(
+                                    "speculative_win",
+                                    job_index=job_index,
+                                    stage_id=stage.stage_id,
+                                    partition=split,
+                                    executor_id=att.executor[0],
+                                    seconds=time.perf_counter() - att.start,
+                                )
+                            elif split in speculated:
+                                metrics.record_recovery(
+                                    "speculative_loss",
+                                    job_index=job_index,
+                                    stage_id=stage.stage_id,
+                                    partition=split,
+                                    executor_id=att.executor[0],
+                                )
+                    if (fetch_failures or other_failures) and not cancel.is_set():
+                        abort_siblings()
+                if spec_enabled and not cancel.is_set() and inflight:
+                    spec_pool = self._maybe_speculate(
+                        stage,
+                        job_index,
+                        cancel,
+                        split_cancels,
+                        inflight,
+                        durations,
+                        len(partitions),
+                        speculated,
+                        spec_pool,
+                    )
+            # Splits where *every* attempt failed (twin never rescued them).
+            for split, exc in held_failures.items():
+                if split not in results:
                     other_failures.append(exc)
-                if (fetch_failures or other_failures) and not cancel.is_set():
-                    cancel.set()
-                    for pending in futures:
-                        pending.cancel()
+        finally:
+            pool.shutdown(wait=True)
+            if spec_pool is not None:
+                spec_pool.shutdown(wait=True)
         if fetch_failures:
             raise fetch_failures[0]
         if other_failures:
             raise other_failures[0]
         return [results[p] for p in partitions]
+
+    def _maybe_speculate(
+        self,
+        stage: "Stage",
+        job_index: int,
+        cancel: threading.Event,
+        split_cancels: dict[int, threading.Event],
+        inflight: dict[Future, _TaskAttempt],
+        durations: list[float],
+        num_tasks: int,
+        speculated: set[int],
+        spec_pool: "ThreadPoolExecutor | None",
+    ) -> "ThreadPoolExecutor | None":
+        """Launch speculative copies of stragglers (at most one per split)."""
+        cfg = self.context.config
+        if len(durations) < max(1, math.ceil(cfg.speculation_quantile * num_tasks)):
+            return spec_pool
+        threshold = max(
+            cfg.speculation_min_runtime,
+            cfg.speculation_multiplier * statistics.median(durations),
+        )
+        now = time.perf_counter()
+        for att in list(inflight.values()):
+            if att.speculative or att.split in speculated:
+                continue
+            if now - att.start <= threshold:
+                continue
+            running_on = att.executor[0]
+            if running_on is None:
+                continue  # still queued behind the pool, not a straggler
+            if not any(e != running_on for e in self._alive_executors()):
+                continue  # nowhere else to run the copy
+            speculated.add(att.split)
+            if spec_pool is None:
+                # Dedicated small pool: stragglers saturating the stage pool
+                # must not be able to starve their own rescue attempts.
+                spec_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix=f"stage-{stage.stage_id}-spec"
+                )
+            spec_att = _TaskAttempt(split=att.split, speculative=True, start=now)
+            avoid = {running_on} if running_on is not None else None
+            fut = spec_pool.submit(
+                self._run_task_with_retries,
+                stage,
+                att.split,
+                job_index,
+                cancel,
+                split_cancels[att.split],
+                avoid,
+                spec_att.executor,
+                1,
+            )
+            inflight[fut] = spec_att
+            self.context.metrics.record_recovery(
+                "speculative_launch",
+                job_index=job_index,
+                stage_id=stage.stage_id,
+                partition=att.split,
+                executor_id=running_on,
+                detail=f"running {now - att.start:.3f}s > threshold {threshold:.3f}s",
+            )
+        return spec_pool
 
     def _run_task_with_retries(
         self,
@@ -241,25 +481,112 @@ class TaskScheduler:
         split: int,
         job_index: int,
         cancel: "threading.Event | None" = None,
+        split_cancel: "threading.Event | None" = None,
+        avoid: "set[str] | None" = None,
+        exec_holder: "list | None" = None,
+        chaos_salt: int = 0,
     ) -> Any:
-        """One task's attempt loop, shared by both modes."""
+        """One task's attempt loop, shared by both modes.
+
+        ``split_cancel`` ends a speculative race (first result wins);
+        ``avoid``/``chaos_salt`` distinguish a speculative copy (placed off
+        the original's executor, with its own chaos draws).
+        """
+        cfg = self.context.config
+        metrics = self.context.metrics
         attempt = 0
         tried: set[str] = set()
         while True:
             if cancel is not None and cancel.is_set():
                 raise StageCancelled(stage.stage_id)
-            executor_id, _locality = self._acquire_slot(stage, split, tried, attempt)
+            if split_cancel is not None and split_cancel.is_set():
+                raise StageCancelled(stage.stage_id)
+            self.context.note_task_launch()
+            decision = self.context.faults.on_task_start(
+                stage.stage_id, split, attempt, job_index, salt=chaos_salt
+            )
+            for victim in decision.kill_executors:
+                runtime = self.context.executors.get(victim)
+                if runtime is not None and runtime.alive:
+                    self.context.kill_executor(victim, reason="chaos")
+            executor_id, _locality = self._acquire_slot(
+                stage, split, tried, attempt, avoid=avoid
+            )
             tried.add(executor_id)
+            if exec_holder is not None:
+                exec_holder[0] = executor_id
             try:
+                if decision.fail is not None:
+                    metrics.record_recovery(
+                        "chaos_task_failure",
+                        job_index=job_index,
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        executor_id=executor_id,
+                        detail=str(decision.fail),
+                    )
+                    raise decision.fail
+                if decision.delay_seconds > 0:
+                    metrics.record_recovery(
+                        "chaos_straggler",
+                        job_index=job_index,
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        executor_id=executor_id,
+                        seconds=decision.delay_seconds,
+                    )
+                    # Interruptible: when a speculative copy wins the split
+                    # (or the stage aborts), the sleeping straggler wakes
+                    # immediately instead of holding the stage's teardown.
+                    waiter = split_cancel or cancel
+                    if waiter is not None:
+                        waiter.wait(decision.delay_seconds)
+                        if (cancel is not None and cancel.is_set()) or (
+                            split_cancel is not None and split_cancel.is_set()
+                        ):
+                            raise StageCancelled(stage.stage_id)
+                    else:
+                        time.sleep(decision.delay_seconds)
                 runtime = self.context.executor_runtime(executor_id)
                 return runtime.run_task(
                     stage.stage_id, split, attempt, job_index, stage.task(split)
                 )
-            except FetchFailedError:
+            except (FetchFailedError, StageCancelled):
                 raise
             except Exception as exc:  # noqa: BLE001 - retry any task error
                 attempt += 1
-                if attempt > self.context.config.max_task_retries:
+                if attempt > cfg.max_task_retries:
                     raise TaskFailure(stage.stage_id, split, exc) from exc
+                if not self._consume_retry_budget():
+                    metrics.record_recovery(
+                        "stage_budget_exhausted",
+                        job_index=job_index,
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        executor_id=executor_id,
+                        detail=f"attempt={attempt} error={type(exc).__name__}",
+                    )
+                    raise TaskFailure(stage.stage_id, split, exc) from exc
+                backoff = 0.0
+                if cfg.task_retry_backoff > 0:
+                    backoff = min(
+                        cfg.task_retry_backoff * (2 ** (attempt - 1)),
+                        cfg.task_retry_backoff_max,
+                    )
+                metrics.record_recovery(
+                    "task_retry",
+                    job_index=job_index,
+                    stage_id=stage.stage_id,
+                    partition=split,
+                    executor_id=executor_id,
+                    seconds=backoff,
+                    detail=f"attempt={attempt} error={type(exc).__name__}: {exc}",
+                )
+                if backoff > 0:
+                    # Interruptible: a stage cancel ends the backoff early.
+                    if cancel is not None:
+                        cancel.wait(backoff)
+                    else:
+                        time.sleep(backoff)
             finally:
                 self._release_slot(executor_id)

@@ -136,13 +136,36 @@ class ShuffleManager:
     def fetch(self, shuffle_id: int, reduce_id: int, ctx: TaskContext) -> Iterator[Any]:
         """Stream all map outputs for ``reduce_id``, accounting transfer bytes."""
         with self._lock:
-            slots = list(self._outputs.get(shuffle_id, ()))
-        if not slots:
+            registered = self._outputs.get(shuffle_id)
+            slots = None if registered is None else list(registered)
+        if slots is None:
+            # Wholly unregistered: the DAG scheduler re-registers and
+            # recomputes every map on retry.
+            self._record_fetch_failure(shuffle_id, -1, ctx, "unregistered")
             raise FetchFailedError(shuffle_id, -1)
+        if not slots:
+            # A registered shuffle with zero maps legitimately has nothing
+            # to fetch (empty source RDD) — not a failure. Raising here
+            # used to burn all stage attempts into a JobFailedError.
+            return iter(())
+        if self._context.faults.on_fetch(shuffle_id, reduce_id):
+            # Chaos: flaky fetch with the map output intact. Reported as
+            # map 0; the DAG scheduler's retry finds nothing missing and
+            # simply re-runs the reduce stage (the cheap recovery path).
+            self._context.metrics.record_recovery(
+                "chaos_fetch_failure",
+                job_index=ctx.job_index,
+                stage_id=ctx.stage_id,
+                partition=ctx.partition_index,
+                executor_id=ctx.executor_id,
+                detail=f"shuffle={shuffle_id} reduce={reduce_id}",
+            )
+            raise FetchFailedError(shuffle_id, 0)
         topology = self._context.topology
         chunks: list[list[Any]] = []
         for map_id, output in enumerate(slots):
             if output is None:
+                self._record_fetch_failure(shuffle_id, map_id, ctx, "map output lost")
                 raise FetchFailedError(shuffle_id, map_id)
             bucket = output.buckets.get(reduce_id)
             if not bucket:
@@ -158,6 +181,18 @@ class ShuffleManager:
         return itertools.chain.from_iterable(chunks)
 
     # -- failure handling ---------------------------------------------------------
+
+    def _record_fetch_failure(
+        self, shuffle_id: int, map_id: int, ctx: TaskContext, why: str
+    ) -> None:
+        self._context.metrics.record_recovery(
+            "fetch_failed",
+            job_index=ctx.job_index,
+            stage_id=ctx.stage_id,
+            partition=ctx.partition_index,
+            executor_id=ctx.executor_id,
+            detail=f"shuffle={shuffle_id} map={map_id}: {why}",
+        )
 
     def on_executor_lost(self, executor_id: str) -> list[int]:
         """Drop map outputs produced by a dead executor; return affected shuffles."""

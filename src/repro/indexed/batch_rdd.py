@@ -68,15 +68,30 @@ class IndexedBatchRDD(RDD):
     def iterator(self, split: int, ctx: TaskContext) -> Iterator[Any]:
         part = next(iter(super().iterator(split, ctx)))
         if part.version != self.version:
-            # Stale partition (e.g. a replayed copy predating an append):
-            # refuse it, drop the block, recompute from lineage.
+            # Stale partition (e.g. a replayed copy predating an append, or
+            # a recovery that replayed too little of the log): refuse it,
+            # drop the block, recompute from lineage — the paper's
+            # version-number guard (Section III-D).
+            import time
+
+            stale_version = part.version
             self.context.invalidate_block((self.rdd_id, split))
+            t0 = time.perf_counter()
             part = next(iter(super().iterator(split, ctx)))
             if part.version != self.version:  # pragma: no cover - lineage bug
                 raise RuntimeError(
                     f"partition {split} recomputed to version {part.version}, "
                     f"expected {self.version}"
                 )
+            self.context.metrics.record_recovery(
+                "stale_partition_rebuilt",
+                job_index=ctx.job_index,
+                stage_id=ctx.stage_id,
+                partition=split,
+                executor_id=ctx.executor_id,
+                seconds=time.perf_counter() - t0,
+                detail=f"stale_version={stale_version} current={self.version}",
+            )
         return iter([part])
 
     def partition_object(self, split: int, ctx: TaskContext) -> IndexedPartition:
