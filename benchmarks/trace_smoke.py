@@ -1,0 +1,77 @@
+"""Trace-export smoke: run a tiny traced query end to end, export the
+Chrome trace, and validate it against the schema subset the tracer
+promises. Exits non-zero on any integrity or schema error, so CI can gate
+on it and upload the resulting JSON as an artifact.
+
+Usage::
+
+    python benchmarks/trace_smoke.py [output.json]   # default TRACE_PR3.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import Config  # noqa: E402
+from repro.obs.tracer import validate_chrome_trace  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, STRING, Schema  # noqa: E402
+
+EDGE_SCHEMA = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+DIM_SCHEMA = Schema.of(("node", LONG), ("label", STRING))
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("TRACE_PR3.json")
+    session = Session(
+        config=Config(
+            default_parallelism=4,
+            shuffle_partitions=4,
+            scheduler_mode="threads",
+            tracing_enabled=True,
+        )
+    )
+    edges = [(i % 20, (i * 3) % 20, float(i % 10) / 10) for i in range(400)]
+    dims = [(k, f"label{k % 3}") for k in range(20)]
+    edges_df = session.create_dataframe(edges, EDGE_SCHEMA, "edges")
+    dims_df = session.create_dataframe(dims, DIM_SCHEMA, "dims")
+    idf = edges_df.create_index("src")
+    joined = idf.to_df().join(dims_df, on=("src", "node")).select("src", "label", "w")
+    rows = joined.collect_tuples()
+    print(f"query returned {len(rows)} rows")
+
+    tracer = session.context.tracer
+    failures = 0
+
+    integrity = tracer.integrity_errors()
+    if integrity:
+        failures += len(integrity)
+        for err in integrity:
+            print(f"INTEGRITY: {err}", file=sys.stderr)
+
+    kinds = {s.kind for s in tracer.finished_spans()}
+    expected = {"query", "phase", "job", "stage", "task", "operator"}
+    if not expected <= kinds:
+        failures += 1
+        print(f"MISSING SPAN KINDS: {sorted(expected - kinds)}", file=sys.stderr)
+
+    doc = tracer.export(str(out))
+    schema_errors = validate_chrome_trace(doc)
+    if schema_errors:
+        failures += len(schema_errors)
+        for err in schema_errors:
+            print(f"SCHEMA: {err}", file=sys.stderr)
+
+    print(f"exported {len(doc['traceEvents'])} events to {out}")
+    if failures:
+        print(f"trace smoke FAILED with {failures} error(s)", file=sys.stderr)
+        return 1
+    print("trace smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.cluster.network import NetworkModel
 from repro.cluster.numa import NUMAModel
 from repro.cluster.topology import ClusterTopology
+from repro.obs.registry import MetricsRegistry
 
 
 def lpt_makespan(durations: "list[float]", slots: int) -> float:
@@ -111,10 +112,15 @@ class MetricsCollector:
         topology: ClusterTopology,
         network: NetworkModel | None = None,
         numa: NUMAModel | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.topology = topology
         self.network = network or NetworkModel()
         self.numa = numa or NUMAModel()
+        #: The unified registry every record also feeds (DESIGN.md §9); the
+        #: engine context passes its shared one, standalone collectors get
+        #: their own.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self.stages: dict[int, StageMetrics] = {}
         self.job_makespans: list[float] = []
@@ -125,6 +131,17 @@ class MetricsCollector:
             self.stages.setdefault(metrics.stage_id, StageMetrics(metrics.stage_id)).tasks.append(
                 metrics
             )
+        reg = self.registry
+        reg.inc("tasks_completed_total")
+        reg.observe("task_compute_seconds", metrics.compute_seconds)
+        if metrics.shuffle_bytes_written:
+            reg.inc("shuffle_bytes_written_total", metrics.shuffle_bytes_written)
+        if metrics.shuffle_bytes_read_local:
+            reg.inc("shuffle_bytes_read_total", metrics.shuffle_bytes_read_local, locality="local")
+        if metrics.shuffle_bytes_read_remote:
+            reg.inc("shuffle_bytes_read_total", metrics.shuffle_bytes_read_remote, locality="remote")
+        for phase, seconds in metrics.phases.items():
+            reg.observe("task_phase_seconds", seconds, phase=phase)
 
     def record_recovery(
         self,
@@ -149,6 +166,9 @@ class MetricsCollector:
         with self._lock:
             event.seq = len(self.recovery_events)
             self.recovery_events.append(event)
+        self.registry.inc("recovery_events_total", kind=kind)
+        if seconds > 0:
+            self.registry.inc("recovery_cost_seconds_total", seconds, kind=kind)
         return event
 
     def recovery_summary(self) -> dict[str, int]:
@@ -178,6 +198,7 @@ class MetricsCollector:
             self.job_makespans.clear()
             self.recovery_events.clear()
             self.network.reset_counters()
+        self.registry.reset()
 
     # ------------------------------------------------------------------ model
 

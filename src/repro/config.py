@@ -127,6 +127,10 @@ class Config:
     chaos_fetch_failure_prob: float = 0.0
     chaos_straggler_prob: float = 0.0
     chaos_straggler_delay: float = 0.02
+    #: Enable the span tracer (query/stage/task/operator spans + Chrome
+    #: trace export). Off by default: the disabled fast path is a single
+    #: attribute check per instrumented site (no allocation, no clock read).
+    tracing_enabled: bool = False
     #: Storage format of indexed partitions: "row" (the paper's prototype,
     #: binary row batches) or "columnar" (footnote 2's alternative).
     index_storage_format: str = "row"

@@ -131,6 +131,7 @@ class CacheManager:
             local = ctxm.executor_runtime(ctx.executor_id).block_manager
             value = local.get(block_id)
             if value is not None:
+                ctxm.registry.inc("cache_hits_total", level="local")
                 return iter(value)
             # 2. Remote hit: fetch from another live executor (accounted).
             for executor_id in ctxm.block_manager_master.locations(block_id):
@@ -148,7 +149,9 @@ class CacheManager:
                         ctx.shuffle_bytes_read_local += nbytes
                     else:
                         ctx.shuffle_bytes_read_remote += nbytes
+                    ctxm.registry.inc("cache_hits_total", level="remote")
                     return iter(value)
+            ctxm.registry.inc("cache_misses_total")
             # 3. Miss: compute from lineage, store locally, register. A miss
             # on a block whose replica died with its executor is *recovery*
             # work — record its cost against the in-flight job (this is the
@@ -157,6 +160,7 @@ class CacheManager:
             t0 = time.perf_counter()
             materialized = list(rdd.compute(split, ctx))
             elapsed = time.perf_counter() - t0
+            ctxm.registry.observe("block_compute_seconds", elapsed)
             local.put(block_id, materialized)
             ctxm.block_manager_master.register(block_id, ctx.executor_id)
             if was_lost:

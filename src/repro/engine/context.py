@@ -23,6 +23,8 @@ from repro.engine.partition import TaskContext
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import TaskScheduler
 from repro.engine.shuffle import ShuffleManager
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 
 class EngineContext:
@@ -50,7 +52,13 @@ class EngineContext:
         self.topology = topology or private_cluster()
         self.network = network or NetworkModel()
         self.numa = numa or NUMAModel()
-        self.metrics = MetricsCollector(self.topology, self.network, self.numa)
+        #: The observability spine (DESIGN.md §9): one registry + tracer per
+        #: context, shared by schedulers, shuffle, cache and fault layers.
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=self.config.tracing_enabled)
+        self.metrics = MetricsCollector(
+            self.topology, self.network, self.numa, registry=self.registry
+        )
         self.faults = FaultInjector(
             seed=self.config.chaos_seed,
             task_failure_prob=self.config.chaos_task_failure_prob,

@@ -96,10 +96,34 @@ class DAGScheduler:
             func=func,
         )
         cfg = self.context.config
+        self.context.registry.inc("jobs_submitted_total")
+        # The job span nests (via the driver thread's contextvar) under a
+        # query/phase span when the SQL session opened one; stage spans for
+        # every attempt — including parent resubmits — nest under it.
+        with self.context.tracer.start_span(
+            f"job {job_index}",
+            kind="job",
+            job_index=job_index,
+            root_rdd=rdd.rdd_id,
+            num_partitions=len(partitions),
+        ) as job_span:
+            return self._run_job_attempts(final, partitions, job_index, cfg, job_span)
+
+    def _run_job_attempts(
+        self,
+        final: ResultStage,
+        partitions: list[int],
+        job_index: int,
+        cfg: Any,
+        job_span: Any,
+    ) -> list[Any]:
         for attempt in range(self.max_stage_attempts):
             try:
                 self._ensure_parents(final, job_index)
-                return self.context.task_scheduler.run_stage(final, partitions, job_index)
+                result = self.context.task_scheduler.run_stage(final, partitions, job_index)
+                if attempt > 0:
+                    job_span.set_attr("stage_attempts", attempt + 1)
+                return result
             except FetchFailedError as failure:
                 # Lost map output: invalidate and retry (parents recomputed).
                 self._handle_fetch_failure(failure)
@@ -128,6 +152,7 @@ class DAGScheduler:
             stage_id=final.stage_id,
             detail=f"after {self.max_stage_attempts} stage attempts",
         )
+        job_span.set_attr("failed", True)
         raise JobFailedError(f"job failed after {self.max_stage_attempts} stage attempts")
 
     def _ensure_parents(self, stage: Stage, job_index: int) -> None:

@@ -41,36 +41,62 @@ class ExecutorRuntime:
         attempt: int,
         job_index: int,
         fn: Callable[[TaskContext], Any],
+        parent_span: Any = None,
     ) -> Any:
-        """Execute ``fn`` with a fresh TaskContext; record metrics; return result."""
+        """Execute ``fn`` with a fresh TaskContext; record metrics; return result.
+
+        ``parent_span`` is the stage span handed down by the task scheduler;
+        passing it explicitly (rather than via a context variable) is what
+        keeps task-span nesting deterministic across the thread pool.
+        """
         if not self.alive:
             raise RuntimeError(f"executor {self.executor_id} is dead")
+        tracer = self.context.tracer
+        span = tracer.start_span(
+            f"task p{split}",
+            kind="task",
+            parent=parent_span,
+            stage_id=stage_id,
+            partition=split,
+            attempt=attempt,
+            job_index=job_index,
+            executor=self.executor_id,
+        )
         ctx = TaskContext(
             stage_id=stage_id,
             partition_index=split,
             attempt=attempt,
             executor_id=self.executor_id,
             job_index=job_index,
+            tracer=tracer if span.enabled else None,
+            task_span=span if span.enabled else None,
         )
         t0 = time.perf_counter()
-        try:
-            result = fn(ctx)
-        finally:
-            elapsed = time.perf_counter() - t0
-            with self._stats_lock:
-                self.tasks_run += 1
-            self.context.metrics.record(
-                TaskMetrics(
-                    stage_id=stage_id,
-                    partition=split,
-                    executor_id=self.executor_id,
-                    compute_seconds=elapsed,
-                    shuffle_bytes_read_local=ctx.shuffle_bytes_read_local,
-                    shuffle_bytes_read_remote=ctx.shuffle_bytes_read_remote,
-                    shuffle_bytes_written=ctx.shuffle_bytes_written,
-                    phases=dict(ctx.phases),
+        # ``with span`` also activates it on this thread, so operator spans
+        # opened deep inside RDD.compute find their task via the contextvar.
+        with span:
+            try:
+                result = fn(ctx)
+            except BaseException as exc:
+                span.set_attr("error", type(exc).__name__)
+                raise
+            finally:
+                elapsed = time.perf_counter() - t0
+                with self._stats_lock:
+                    self.tasks_run += 1
+                span.set_attr("compute_seconds", round(elapsed, 6))
+                self.context.metrics.record(
+                    TaskMetrics(
+                        stage_id=stage_id,
+                        partition=split,
+                        executor_id=self.executor_id,
+                        compute_seconds=elapsed,
+                        shuffle_bytes_read_local=ctx.shuffle_bytes_read_local,
+                        shuffle_bytes_read_remote=ctx.shuffle_bytes_read_remote,
+                        shuffle_bytes_written=ctx.shuffle_bytes_written,
+                        phases=dict(ctx.phases),
+                    )
                 )
-            )
         return result
 
     def kill(self) -> None:

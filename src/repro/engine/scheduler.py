@@ -264,20 +264,35 @@ class TaskScheduler:
                 if cfg.stage_attempt_budget > 0
                 else max(4, len(partitions)) * cfg.max_task_retries
             )
-        if mode == "threads" and len(partitions) > 1:
-            return self._run_stage_threads(stage, partitions, job_index)
-        return self._run_stage_sequential(stage, partitions, job_index)
+        self.context.registry.inc("stages_executed_total", mode=mode)
+        # The stage span nests under the job span via the driver thread's
+        # contextvar; worker threads receive it *explicitly* (parent_span),
+        # because contextvars do not propagate into pool threads.
+        stage_span = self.context.tracer.start_span(
+            f"stage {stage.stage_id}",
+            kind="stage",
+            stage_id=stage.stage_id,
+            num_tasks=len(partitions),
+            mode=mode,
+            job_index=job_index,
+        )
+        with stage_span:
+            if mode == "threads" and len(partitions) > 1:
+                return self._run_stage_threads(stage, partitions, job_index, stage_span)
+            return self._run_stage_sequential(stage, partitions, job_index, stage_span)
 
     def _run_stage_sequential(
-        self, stage: "Stage", partitions: list[int], job_index: int
+        self, stage: "Stage", partitions: list[int], job_index: int, stage_span: Any = None
     ) -> list[Any]:
         results: dict[int, Any] = {}
         for split in partitions:
-            results[split] = self._run_task_with_retries(stage, split, job_index)
+            results[split] = self._run_task_with_retries(
+                stage, split, job_index, stage_span=stage_span
+            )
         return [results[p] for p in partitions]
 
     def _run_stage_threads(
-        self, stage: "Stage", partitions: list[int], job_index: int
+        self, stage: "Stage", partitions: list[int], job_index: int, stage_span: Any = None
     ) -> list[Any]:
         """Launch the stage's tasks onto a bounded thread pool.
 
@@ -333,6 +348,7 @@ class TaskScheduler:
                     None,
                     att.executor,
                     0,
+                    stage_span,
                 )
                 inflight[fut] = att
             while inflight:
@@ -398,6 +414,7 @@ class TaskScheduler:
                         len(partitions),
                         speculated,
                         spec_pool,
+                        stage_span,
                     )
             # Splits where *every* attempt failed (twin never rescued them).
             for split, exc in held_failures.items():
@@ -424,6 +441,7 @@ class TaskScheduler:
         num_tasks: int,
         speculated: set[int],
         spec_pool: "ThreadPoolExecutor | None",
+        stage_span: Any = None,
     ) -> "ThreadPoolExecutor | None":
         """Launch speculative copies of stragglers (at most one per split)."""
         cfg = self.context.config
@@ -463,6 +481,7 @@ class TaskScheduler:
                 avoid,
                 spec_att.executor,
                 1,
+                stage_span,
             )
             inflight[fut] = spec_att
             self.context.metrics.record_recovery(
@@ -485,12 +504,14 @@ class TaskScheduler:
         avoid: "set[str] | None" = None,
         exec_holder: "list | None" = None,
         chaos_salt: int = 0,
+        stage_span: Any = None,
     ) -> Any:
         """One task's attempt loop, shared by both modes.
 
         ``split_cancel`` ends a speculative race (first result wins);
         ``avoid``/``chaos_salt`` distinguish a speculative copy (placed off
-        the original's executor, with its own chaos draws).
+        the original's executor, with its own chaos draws); ``stage_span``
+        becomes the parent of every attempt's task span.
         """
         cfg = self.context.config
         metrics = self.context.metrics
@@ -502,6 +523,9 @@ class TaskScheduler:
             if split_cancel is not None and split_cancel.is_set():
                 raise StageCancelled(stage.stage_id)
             self.context.note_task_launch()
+            self.context.registry.inc(
+                "task_launches_total", speculative=bool(chaos_salt)
+            )
             decision = self.context.faults.on_task_start(
                 stage.stage_id, split, attempt, job_index, salt=chaos_salt
             )
@@ -549,7 +573,12 @@ class TaskScheduler:
                         time.sleep(decision.delay_seconds)
                 runtime = self.context.executor_runtime(executor_id)
                 return runtime.run_task(
-                    stage.stage_id, split, attempt, job_index, stage.task(split)
+                    stage.stage_id,
+                    split,
+                    attempt,
+                    job_index,
+                    stage.task(split),
+                    parent_span=stage_span,
                 )
             except (FetchFailedError, StageCancelled):
                 raise

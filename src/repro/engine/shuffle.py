@@ -178,6 +178,7 @@ class ShuffleManager:
             else:
                 ctx.shuffle_bytes_read_remote += nbytes
             chunks.append(bucket)
+        self._context.registry.inc("shuffle_fetches_total")
         return itertools.chain.from_iterable(chunks)
 
     # -- failure handling ---------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.engine.rdd import RDD, PrunedRDD
+from repro.engine.rdd import RDD, MapPartitionsRDD, PrunedRDD
 from repro.engine.shuffle import estimate_size
 from repro.sql.expressions import Expression
 from repro.sql.joins import make_key_func
@@ -34,13 +34,12 @@ class IndexedScanExec(PhysicalPlan):
         super().__init__(session, idf.schema)
         self.idf = idf
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         def scan(parts: Iterator[Any], ctx: Any) -> Iterator[tuple]:
-            t0 = time.perf_counter()
             # Batch-at-a-time: decode whole row batches in one compiled
             # pass (falls back to the chain walk when non-contiguous).
-            rows = next(iter(parts)).scan_rows()
-            ctx.add_phase("indexed_scan", time.perf_counter() - t0)
+            with ctx.span("indexed_scan"):
+                rows = next(iter(parts)).scan_rows()
             return iter(rows)
 
         return self.idf.rdd.map_partitions_with_context(scan, preserves_partitioning=True)
@@ -61,7 +60,7 @@ class IndexedLookupExec(PhysicalPlan):
         self.idf = idf
         self.keys = keys
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         idf = self.idf
         by_split: dict[int, list[Any]] = {}
         for key in self.keys:
@@ -69,12 +68,16 @@ class IndexedLookupExec(PhysicalPlan):
         splits = sorted(by_split)
         pruned = PrunedRDD(idf.rdd, splits)
 
-        def lookup(split: int, parts: Iterator[Any]) -> Iterator[tuple]:
+        def lookup(parts: Iterator[Any], split: int, ctx: Any) -> Iterator[tuple]:
             part = next(iter(parts))
-            for key in by_split[splits[split]]:
-                yield from part.lookup(key)
+            keys = by_split[splits[split]]
+            with ctx.span("lookup", keys=len(keys)):
+                rows: list[tuple] = []
+                for key in keys:
+                    rows.extend(part.lookup(key))
+            return iter(rows)
 
-        return pruned.map_partitions_with_index(lookup)
+        return MapPartitionsRDD(pruned, lookup)
 
     def estimated_rows(self) -> int:
         return len(self.keys)
@@ -117,7 +120,7 @@ class IndexedJoinExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.probe]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         session = self.session
         idf = self.idf
         probe_key = make_key_func(self.probe_keys)
@@ -128,29 +131,28 @@ class IndexedJoinExec(PhysicalPlan):
 
         def probe_partition(parts: Iterator[Any], probe_rows: Iterator[tuple], ctx: Any) -> Iterator[tuple]:
             part = next(iter(parts))
-            t0 = time.perf_counter()
-            # Group probe rows by key: each distinct key's backward-pointer
-            # chain is searched and decoded exactly once.
-            by_key: dict[Any, list[tuple]] = {}
-            for row in probe_rows:
-                by_key.setdefault(probe_key(row), []).append(row)
-            matches_by_key = part.lookup_many(by_key.keys())
             out: list[tuple] = []
-            for key, rows_for_key in by_key.items():
-                matches = matches_by_key[key]
-                for row in rows_for_key:
-                    if matches:
-                        emitted = False
-                        for match in matches:
-                            joined = (match + row) if indexed_on_left else (row + match)
-                            if residual is None or residual.eval(joined):
-                                out.append(joined)
-                                emitted = True
-                        if how == "left" and not indexed_on_left and not emitted:
+            with ctx.span("probe"):
+                # Group probe rows by key: each distinct key's backward-pointer
+                # chain is searched and decoded exactly once.
+                by_key: dict[Any, list[tuple]] = {}
+                for row in probe_rows:
+                    by_key.setdefault(probe_key(row), []).append(row)
+                matches_by_key = part.lookup_many(by_key.keys())
+                for key, rows_for_key in by_key.items():
+                    matches = matches_by_key[key]
+                    for row in rows_for_key:
+                        if matches:
+                            emitted = False
+                            for match in matches:
+                                joined = (match + row) if indexed_on_left else (row + match)
+                                if residual is None or residual.eval(joined):
+                                    out.append(joined)
+                                    emitted = True
+                            if how == "left" and not indexed_on_left and not emitted:
+                                out.append(row + null_indexed)
+                        elif how == "left" and not indexed_on_left:
                             out.append(row + null_indexed)
-                    elif how == "left" and not indexed_on_left:
-                        out.append(row + null_indexed)
-            ctx.add_phase("probe", time.perf_counter() - t0)
             return iter(out)
 
         probe_rdd = self.probe.execute()

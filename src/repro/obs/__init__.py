@@ -1,0 +1,34 @@
+"""Observability layer: span tracing, unified metrics, EXPLAIN ANALYZE.
+
+Three cooperating pieces (DESIGN.md §9):
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer with Chrome trace
+  export (``query -> phase -> job -> stage -> task -> operator``);
+* :mod:`repro.obs.registry` — one queryable registry of counters, gauges
+  and histograms, fed by the scheduler, shuffle, cache and fault layers;
+* :mod:`repro.obs.analyze` — the EXPLAIN ANALYZE execution meter that
+  decorates physical operators with actual row counts and timings.
+"""
+
+from repro.obs.analyze import ExecutionMeter, ExplainAnalysis, NodeStats
+from repro.obs.registry import HistogramData, MetricsRegistry
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    SPAN_NESTING,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ExecutionMeter",
+    "ExplainAnalysis",
+    "NodeStats",
+    "HistogramData",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SPAN_NESTING",
+    "Span",
+    "Tracer",
+    "validate_chrome_trace",
+]

@@ -45,7 +45,7 @@ class HashAggregateExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.child]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         group_exprs = self.group_exprs
         aggs = self._aggs
 

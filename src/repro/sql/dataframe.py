@@ -9,7 +9,7 @@ Scala implicit conversions) materializes into the Indexed DataFrame.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.sql.cache import CachedRelation
 from repro.sql.expressions import (
@@ -33,6 +33,9 @@ from repro.sql.logical import (
 )
 from repro.sql.row import Row
 from repro.sql.types import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.analyze import ExplainAnalysis
 
 
 def _as_column(c: "str | Expression") -> Expression:
@@ -204,8 +207,12 @@ class DataFrame:
             print("|" + "|".join(f" {c[i]:<{widths[i]}} " for i in range(len(names))) + "|")
         print(sep)
 
-    def explain(self) -> str:
-        """Return the analyzed/optimized/physical plan trees."""
+    def explain(self, analyze: bool = False) -> str:
+        """Return the plan trees; with ``analyze=True`` the query actually
+        runs and each physical operator is decorated with its observed row
+        count, wall time and rows/s (EXPLAIN ANALYZE)."""
+        if analyze:
+            return self.analyze().text()
         physical = self.session.plan_physical(self.plan)
         return (
             "== Logical ==\n"
@@ -213,6 +220,11 @@ class DataFrame:
             + "\n== Physical ==\n"
             + physical.tree_string()
         )
+
+    def analyze(self) -> "ExplainAnalysis":
+        """Run the query under per-operator metering; return the annotated
+        plan object (``.text()`` for the rendering, ``.rows`` for results)."""
+        return self.session.execute_analyzed(self.plan)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"DataFrame[{', '.join(self.columns)}]"

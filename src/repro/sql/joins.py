@@ -85,7 +85,7 @@ class BroadcastHashJoinExec(JoinExec):
             raise ValueError(build_side)
         self.build_side = build_side
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         session = self.session
         context = session.context
         build_left = self.build_side == "left"
@@ -113,22 +113,21 @@ class BroadcastHashJoinExec(JoinExec):
         null_right = self._null_right()
 
         def probe(rows: Iterator[tuple], ctx: Any) -> Iterator[tuple]:
-            t_probe = time.perf_counter()
             out: list[tuple] = []
-            for row in rows:
-                matches = table.get(probe_key(row))
-                if matches:
-                    emitted = False
-                    for match in matches:
-                        joined = (match + row) if build_left else (row + match)
-                        if residual is None or residual.eval(joined):
-                            out.append(joined)
-                            emitted = True
-                    if how == "left" and not build_left and not emitted:
+            with ctx.span("probe"):
+                for row in rows:
+                    matches = table.get(probe_key(row))
+                    if matches:
+                        emitted = False
+                        for match in matches:
+                            joined = (match + row) if build_left else (row + match)
+                            if residual is None or residual.eval(joined):
+                                out.append(joined)
+                                emitted = True
+                        if how == "left" and not build_left and not emitted:
+                            out.append(row + null_right)
+                    elif how == "left" and not build_left:
                         out.append(row + null_right)
-                elif how == "left" and not build_left:
-                    out.append(row + null_right)
-            ctx.add_phase("probe", time.perf_counter() - t_probe)
             return iter(out)
 
         return probe_plan.execute().map_partitions_with_context(probe)
@@ -149,7 +148,7 @@ class ShuffleHashJoinExec(JoinExec):
         self.build_side = build_side
         self.num_partitions = num_partitions
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         n = self.num_partitions or self.session.context.config.shuffle_partitions
         part = HashPartitioner(n)
         left_key = make_key_func(self.left_keys)
@@ -213,7 +212,7 @@ class SortMergeJoinExec(JoinExec):
         super().__init__(*args, **kwargs)
         self.num_partitions = num_partitions
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         n = self.num_partitions or self.session.context.config.shuffle_partitions
         part = HashPartitioner(n)
         left_key = make_key_func(self.left_keys)

@@ -15,7 +15,6 @@ indexed join) through planner strategies; they subclass
 from __future__ import annotations
 
 import itertools
-import time
 from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
@@ -46,7 +45,20 @@ class PhysicalPlan:
         return []
 
     def execute(self) -> RDD:
-        """Build (lazily) the RDD of row tuples for this operator."""
+        """Build (lazily) the RDD of row tuples for this operator.
+
+        When the session is running under EXPLAIN ANALYZE
+        (``session.exec_meter`` is set), the operator's output RDD is
+        wrapped so actual row counts and wall time are recorded per node —
+        subclasses implement :meth:`do_execute` and never see the meter.
+        """
+        rdd = self.do_execute()
+        meter = self.session.exec_meter
+        if meter is not None:
+            rdd = meter.instrument(self, rdd)
+        return rdd
+
+    def do_execute(self) -> RDD:
         raise NotImplementedError
 
     def estimated_rows(self) -> int:
@@ -68,7 +80,7 @@ class RowSourceExec(PhysicalPlan):
         super().__init__(session, relation.schema)
         self.relation = relation
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         rows = self.relation.rows or []
         n = self.relation.num_partitions or self.session.context.config.default_parallelism
         return self.session.context.parallelize(rows, n)
@@ -104,21 +116,20 @@ class ColumnarScanExec(PhysicalPlan):
         self.condition = condition
         self.relation_name = relation_name
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         condition = self.condition
         required = self.required
 
         def scan(batches: Iterator[ColumnBatch], ctx: Any) -> Iterator[tuple]:
-            t0 = time.perf_counter()
             out: list[tuple] = []
-            for batch in batches:
-                if condition is not None:
-                    mask = np.asarray(condition.eval_vector(batch.columns), dtype=bool)
-                    batch = batch.filter(mask)
-                if required:
-                    batch = batch.project(required)
-                out.extend(batch.to_rows())
-            ctx.add_phase("scan", time.perf_counter() - t0)
+            with ctx.span("scan"):
+                for batch in batches:
+                    if condition is not None:
+                        mask = np.asarray(condition.eval_vector(batch.columns), dtype=bool)
+                        batch = batch.filter(mask)
+                    if required:
+                        batch = batch.project(required)
+                    out.extend(batch.to_rows())
             return iter(out)
 
         return self.cached.batch_rdd.map_partitions_with_context(scan)
@@ -147,7 +158,7 @@ class FilterExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.child]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         cond = self.condition
         return self.child.execute().filter(lambda row: bool(cond.eval(row)))
 
@@ -169,7 +180,7 @@ class ProjectExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.child]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         exprs = self.exprs
         return self.child.execute().map(lambda row: tuple(e.eval(row) for e in exprs))
 
@@ -189,7 +200,7 @@ class LimitExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.child]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         n = self.n
         partial = self.child.execute().map_partitions(lambda it: itertools.islice(it, n))
         return partial.coalesce(1).map_partitions(lambda it: itertools.islice(it, n))
@@ -217,7 +228,7 @@ class SortExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.child]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         keys = self.keys
 
         def sort_all(it: Iterator[tuple]) -> Iterator[tuple]:
@@ -242,7 +253,7 @@ class UnionExec(PhysicalPlan):
     def children(self) -> list[PhysicalPlan]:
         return [self.left, self.right]
 
-    def execute(self) -> RDD:
+    def do_execute(self) -> RDD:
         return self.left.execute().union(self.right.execute())
 
     def estimated_rows(self) -> int:

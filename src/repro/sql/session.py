@@ -16,10 +16,12 @@ reads it.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.config import Config
 from repro.engine.context import EngineContext
+from repro.obs.analyze import ExecutionMeter, ExplainAnalysis
 from repro.sql.analysis import Analyzer
 from repro.sql.catalog import Catalog
 from repro.sql.logical import LogicalPlan, Relation
@@ -38,6 +40,10 @@ class Session:
         self.extra_rules: list[Rule] = []
         self.extra_strategies: list[Strategy] = []
         self.phase_timer = PhaseTimer()
+        #: EXPLAIN ANALYZE hook: when set (see :meth:`execute_analyzed`),
+        #: PhysicalPlan.execute wraps every operator's output RDD so actual
+        #: row counts / wall time are recorded per plan node.
+        self.exec_meter: ExecutionMeter | None = None
 
     # -- DataFrame construction ------------------------------------------------
 
@@ -69,10 +75,51 @@ class Session:
     # -- the query pipeline (Fig. 2) ---------------------------------------------
 
     def plan_physical(self, logical: LogicalPlan) -> PhysicalPlan:
-        analyzed = self.analyzer.analyze(logical)
-        optimized = Optimizer(self.extra_rules).optimize(analyzed)
-        reanalyzed = self.analyzer.analyze(optimized)
-        return Planner(self).plan(reanalyzed)
+        """Analyze -> optimize -> re-analyze -> plan, each under a phase span."""
+        tracer = self.context.tracer
+        with tracer.start_span("analyze", kind="phase"):
+            analyzed = self.analyzer.analyze(logical)
+        with tracer.start_span("optimize", kind="phase"):
+            optimized = Optimizer(self.extra_rules).optimize(analyzed)
+            reanalyzed = self.analyzer.analyze(optimized)
+        with tracer.start_span("plan", kind="phase"):
+            return Planner(self).plan(reanalyzed)
 
     def execute(self, logical: LogicalPlan) -> list[tuple]:
-        return self.plan_physical(logical).execute().collect()
+        with self.context.tracer.start_span("query", kind="query"):
+            physical = self.plan_physical(logical)
+            with self.context.tracer.start_span("execute", kind="phase"):
+                return physical.execute().collect()
+
+    # -- EXPLAIN ANALYZE -----------------------------------------------------------
+
+    def execute_analyzed(self, logical: LogicalPlan) -> ExplainAnalysis:
+        """Run the query with per-operator metering; return the annotated plan.
+
+        Meters nest: a query analyzed while another analysis is in flight
+        (e.g. index creation triggered inside planning) restores the outer
+        meter on exit.
+        """
+        with self.context.tracer.start_span("query", kind="query", analyze=True):
+            physical = self.plan_physical(logical)
+            meter = ExecutionMeter()
+            previous = self.exec_meter
+            self.exec_meter = meter
+            try:
+                t0 = time.perf_counter()
+                with self.context.tracer.start_span("execute", kind="phase"):
+                    rows = physical.execute().collect()
+                wall = time.perf_counter() - t0
+            finally:
+                self.exec_meter = previous
+        return ExplainAnalysis(physical=physical, rows=rows, meter=meter, wall_seconds=wall)
+
+    def sql_explain(self, text: str, analyze: bool = False) -> str:
+        """EXPLAIN [ANALYZE] for a SQL string: the physical plan as text,
+        decorated with actual row counts and timings when ``analyze``."""
+        from repro.sql.parser import parse_query
+
+        logical = parse_query(text, self.catalog)
+        if analyze:
+            return self.execute_analyzed(logical).text()
+        return self.plan_physical(logical).tree_string()

@@ -54,6 +54,7 @@ def make_context(mode: str, **overrides) -> EngineContext:
 
 
 class TestChaosDeterminism:
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", [1, 2, 3])
     @pytest.mark.parametrize("mode", MODES)
     def test_chaos_soup_converges_across_seeds(self, mode, seed):
@@ -514,6 +515,7 @@ class TestStalenessGuard:
 
 
 class TestFig12ChaosRun:
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", [0, 17])
     def test_200_queries_survive_mid_query_kill_with_replacement(self, seed):
         """Executor killed mid-query under scheduler_mode="threads" with

@@ -130,6 +130,86 @@ def test_three_way_equivalence(data, seed):
     assert idx == baseline
 
 
+MODES = ("sequential", "threads")
+
+#: Satellite (a): at least 50 seeded random queries per scheduler mode.
+DIFFERENTIAL_SEEDS = list(range(50))
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_differential_indexed_vs_vanilla_50_seeds(data, mode):
+    """Fixed dataset, one index build, 50 generated queries: the indexed
+    plans must agree with the columnar-cache plans under both scheduler
+    modes (the threads run is what exercises the concurrent cTrie)."""
+    edges, dims, keys = data
+    session = Session(
+        config=Config(default_parallelism=3, shuffle_partitions=3, scheduler_mode=mode)
+    )
+    edges_df = session.create_dataframe(edges, EDGE_SCHEMA, "edges")
+    dims_df = session.create_dataframe(dims, DIM_SCHEMA, "dims").cache()
+    vanilla = edges_df.cache()
+    indexed = edges_df.create_index("src")
+
+    mismatches = []
+    for seed in DIFFERENTIAL_SEEDS:
+        want = normalize(
+            QueryGenerator(random.Random(seed), keys).build(vanilla, dims_df).collect_tuples()
+        )
+        got = normalize(
+            QueryGenerator(random.Random(seed), keys)
+            .build(indexed.to_df(), dims_df)
+            .collect_tuples()
+        )
+        if got != want:
+            mismatches.append(seed)
+    assert mismatches == [], f"indexed != vanilla for seeds {mismatches} in {mode} mode"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_differential_across_mvcc_versions(data, mode):
+    """Appends are versioned (MVCC): every version must answer queries as if
+    it were a fresh DataFrame over the concatenated rows, the parent must
+    stay queryable after a child append, and both scheduler modes agree."""
+    edges, dims, keys = data
+    session = Session(
+        config=Config(default_parallelism=3, shuffle_partitions=3, scheduler_mode=mode)
+    )
+    rng = random.Random(4242)
+    base = edges[:300]
+    batch1 = [
+        (rng.randrange(keys), rng.randrange(keys), round(rng.random(), 4)) for _ in range(40)
+    ]
+    batch2 = [
+        (rng.randrange(keys), rng.randrange(keys), round(rng.random(), 4)) for _ in range(25)
+    ]
+    dims_df = session.create_dataframe(dims, DIM_SCHEMA, "dims").cache()
+
+    v0 = session.create_dataframe(base, EDGE_SCHEMA, "edges").create_index("src")
+    v1 = v0.append_rows(batch1)
+    v2 = v1.append_rows(batch2)
+    assert (v0.version, v1.version, v2.version) == (0, 1, 2)
+
+    versions = [(v0, base), (v1, base + batch1), (v2, base + batch1 + batch2)]
+    for query_seed in (3, 17, 29, 58, 91):
+        for idf, rows in versions:
+            reference = session.create_dataframe(rows, EDGE_SCHEMA, "edges_ref").cache()
+            want = normalize(
+                QueryGenerator(random.Random(query_seed), keys)
+                .build(reference, dims_df)
+                .collect_tuples()
+            )
+            got = normalize(
+                QueryGenerator(random.Random(query_seed), keys)
+                .build(idf.to_df(), dims_df)
+                .collect_tuples()
+            )
+            assert got == want, (
+                f"version {idf.version} diverged on seed {query_seed} in {mode} mode"
+            )
+    # The parent is still intact after both child appends.
+    assert normalize(v0.to_df().collect_tuples()) == normalize(base)
+
+
 @given(seed=st.integers(min_value=0, max_value=100_000))
 @settings(max_examples=10, deadline=None)
 def test_columnar_storage_equivalence(data, seed):
