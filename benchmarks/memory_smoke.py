@@ -1,0 +1,183 @@
+"""Memory-pressure smoke: Fig. 6/12-shaped runs under a deliberately tiny
+executor budget (DESIGN.md §10).
+
+Two scenarios, both differential against an unbounded run of the same
+workload:
+
+* **fig06-shaped** — an indexed probe join over an SNB-style edge table
+  whose cached partitions exceed the per-executor budget several times
+  over, so the store must spill and evict to complete;
+* **fig12-shaped** — the same bounded store with an executor killed
+  mid-run, so lineage recompute and memory pressure interleave.
+
+The smoke fails (non-zero exit) unless every scenario completes with
+results identical to the unbounded baseline, >0 spills, and 0 job
+failures. It dumps the full metrics registry + recovery summary as a JSON
+artifact for CI, and writes ``BENCH_PR4.json`` (bounded vs unbounded wall
+time plus memory activity) at the repository root.
+
+Usage::
+
+    python benchmarks/memory_smoke.py [metrics_out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.topology import private_cluster  # noqa: E402
+from repro.config import Config  # noqa: E402
+from repro.engine.context import EngineContext  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.workloads import snb  # noqa: E402
+
+#: Deliberately tiny: a few partitions' worth, forcing both shedding tiers.
+BUDGET_BYTES = 120_000
+ROWS_SCALE = 20  # ~20k edges
+PARTITIONS = 8
+SPILL_DIR = os.path.join(tempfile.gettempdir(), "repro-memory-smoke-spill")
+
+
+def make_session(budget: int, mode: str = "threads") -> Session:
+    ctx = EngineContext(
+        config=Config(
+            default_parallelism=4,
+            shuffle_partitions=PARTITIONS,
+            scheduler_mode=mode,
+            row_batch_size=8192,
+            executor_memory_bytes=budget,
+            spill_dir=SPILL_DIR,
+            task_retry_backoff=0.001,
+            task_retry_backoff_max=0.01,
+            executor_replacement=True,
+            executor_restart_delay_tasks=2,
+        ),
+        topology=private_cluster(num_machines=1, executors_per_machine=2),
+    )
+    return Session(context=ctx)
+
+
+def run_workload(session: Session, kill_mid_run: bool = False) -> tuple[list, float]:
+    """Index, cache, probe-join, scan twice; returns (rows, wall seconds)."""
+    edges = snb.generate_snb_edges(ROWS_SCALE, alpha=0.6)
+    keys = snb.sample_probe_keys(edges, len(edges) // 20)
+    t0 = time.perf_counter()
+    edges_df = session.create_dataframe(edges, snb.EDGE_SCHEMA, "edges")
+    idf = edges_df.create_index("edge_source", num_partitions=PARTITIONS).cache_index()
+    if kill_mid_run:
+        session.context.faults.fail_executor_at_task("m0e1", 3)
+    probe_rows = [(k,) for k in sorted(set(keys))]
+    from repro.sql.types import LONG, Schema
+
+    probe = session.create_dataframe(probe_rows, Schema.of(("k", LONG)), "probe")
+    joined = probe.join(idf.to_df(), on=("k", "edge_source"))
+    result = sorted(joined.collect_tuples())
+    result += sorted(tuple(r) for r in idf.collect())
+    return result, time.perf_counter() - t0
+
+
+def memory_activity(session: Session) -> dict[str, float]:
+    reg = session.context.registry
+    return {
+        "spills": reg.counter_total("memory_spills_total"),
+        "spilled_bytes": reg.counter_total("memory_spilled_bytes_total"),
+        "evictions": reg.counter_total("memory_evictions_total"),
+        "evicted_bytes": reg.counter_total("memory_evicted_bytes_total"),
+        "faulted_back_bytes": reg.counter_total("memory_faulted_back_bytes_total"),
+        "pressure_errors": reg.counter_total("memory_pressure_errors_total"),
+        "bytes_cached_now": reg.gauge_total("memory_bytes_cached"),
+    }
+
+
+def main() -> int:
+    metrics_out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("MEMORY_SMOKE_METRICS.json")
+    failures: list[str] = []
+    report: dict = {"budget_bytes": BUDGET_BYTES, "scenarios": {}}
+
+    baseline_session = make_session(budget=0)
+    baseline, unbounded_s = run_workload(baseline_session)
+    print(f"unbounded baseline: {len(baseline)} rows in {unbounded_s:.2f}s")
+
+    scenarios = {
+        "fig06_bounded_join": dict(kill_mid_run=False),
+        "fig12_bounded_kill": dict(kill_mid_run=True),
+    }
+    for name, opts in scenarios.items():
+        session = make_session(budget=BUDGET_BYTES)
+        rows, wall_s = run_workload(session, **opts)
+        activity = memory_activity(session)
+        summary = session.context.metrics.recovery_summary()
+        ok = True
+        if rows != baseline:
+            failures.append(f"{name}: results differ from unbounded baseline")
+            ok = False
+        if activity["spills"] <= 0:
+            failures.append(f"{name}: expected >0 spills, saw {activity['spills']}")
+            ok = False
+        if summary.get("job_failed", 0) or activity["pressure_errors"] > 0:
+            failures.append(
+                f"{name}: job failures or unhandled pressure "
+                f"(job_failed={summary.get('job_failed', 0)}, "
+                f"pressure_errors={activity['pressure_errors']})"
+            )
+            ok = False
+        if opts["kill_mid_run"] and summary.get("executor_lost", 0) < 1:
+            failures.append(f"{name}: kill did not register")
+            ok = False
+        report["scenarios"][name] = {
+            "ok": ok,
+            "rows": len(rows),
+            "wall_s": wall_s,
+            "unbounded_wall_s": unbounded_s,
+            "slowdown": wall_s / unbounded_s,
+            "memory": activity,
+            "recovery_summary": summary,
+        }
+        print(
+            f"{name}: {len(rows)} rows in {wall_s:.2f}s "
+            f"({wall_s / unbounded_s:.2f}x unbounded), "
+            f"spills={activity['spills']:.0f} evictions={activity['evictions']:.0f} "
+            f"faulted_back={activity['faulted_back_bytes']:.0f}B -> "
+            f"{'OK' if ok else 'FAIL'}"
+        )
+        # The artifact: the last scenario's full registry, plus the report.
+        report["registry_snapshot"] = session.context.registry.snapshot()
+
+    metrics_out.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    print(f"wrote metrics dump to {metrics_out}")
+
+    bench = {
+        "budget_bytes": BUDGET_BYTES,
+        "unbounded_s": unbounded_s,
+        "scenarios": {
+            name: {
+                "wall_s": entry["wall_s"],
+                "slowdown_vs_unbounded": entry["slowdown"],
+                "spills": entry["memory"]["spills"],
+                "evictions": entry["memory"]["evictions"],
+                "faulted_back_bytes": entry["memory"]["faulted_back_bytes"],
+            }
+            for name, entry in report["scenarios"].items()
+        },
+    }
+    bench_out = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+    bench_out.write_text(json.dumps(bench, indent=2) + "\n")
+    print(f"wrote {bench_out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("memory smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,11 @@ runtime:
   beat;
 * **flaky shuffle fetches** (``fetch_failure_prob``) — a reduce-side fetch
   raises a FetchFailedError even though the map output is present, forcing
-  the DAG scheduler through its (cheap) resubmit path.
+  the DAG scheduler through its (cheap) resubmit path;
+* **memory squeezes** (``memory_squeeze_prob`` /
+  :meth:`squeeze_memory_at_task`) — a task launch shrinks its executor's
+  effective block budget, forcing a spill/evict storm (the OOM-adjacent
+  failure class the memory manager exists to absorb, DESIGN.md §10).
 
 **Determinism.** Probabilistic decisions are not drawn from one shared RNG
 stream (whose order would depend on thread interleaving) but from a hash of
@@ -51,6 +55,9 @@ class ChaosDecision:
     fail: ChaosTaskError | None = None
     #: Seconds to sleep before running the task (straggler injection).
     delay_seconds: float = 0.0
+    #: When > 0, squeeze the launching executor's effective memory budget to
+    #: this fraction before the task runs (forces a spill/evict storm).
+    memory_squeeze_factor: float = 0.0
 
 
 _NO_CHAOS = ChaosDecision()
@@ -83,6 +90,10 @@ class FaultInjector:
     fetch_failure_prob: float = 0.0
     straggler_prob: float = 0.0
     straggler_delay: float = 0.02
+    #: Memory-pressure injection: probability that a task launch squeezes
+    #: its executor's effective budget to ``memory_squeeze_factor``.
+    memory_squeeze_prob: float = 0.0
+    memory_squeeze_factor: float = 0.5
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
@@ -94,6 +105,8 @@ class FaultInjector:
     _task_launches: int = 0
     #: One-shot targeted straggler injections: (split, delay, stage_id|None).
     _targeted_delays: list[tuple[int, float, int | None]] = field(default_factory=list)
+    #: One-shot memory squeezes waiting on the launch counter: (at, factor).
+    _memory_squeezes: list[tuple[int, float]] = field(default_factory=list)
     _fetch_counts: dict[tuple[int, int], int] = field(default_factory=dict)
     #: shuffle_id -> first-seen dense index. Shuffle ids are allocated from a
     #: process-global counter, so the raw id is not stable across contexts;
@@ -110,6 +123,8 @@ class FaultInjector:
         fetch_failure_prob: float | None = None,
         straggler_prob: float | None = None,
         straggler_delay: float | None = None,
+        memory_squeeze_prob: float | None = None,
+        memory_squeeze_factor: float | None = None,
     ) -> None:
         with self._lock:
             if seed is not None:
@@ -122,6 +137,10 @@ class FaultInjector:
                 self.straggler_prob = straggler_prob
             if straggler_delay is not None:
                 self.straggler_delay = straggler_delay
+            if memory_squeeze_prob is not None:
+                self.memory_squeeze_prob = memory_squeeze_prob
+            if memory_squeeze_factor is not None:
+                self.memory_squeeze_factor = memory_squeeze_factor
 
     # -- scheduled kills -----------------------------------------------------------
 
@@ -151,6 +170,13 @@ class FaultInjector:
                     victims.append(executor_id)
                     self.killed.append((job_index, executor_id))
         return victims
+
+    def squeeze_memory_at_task(self, task_launch_index: int, factor: float = 0.5) -> None:
+        """Force a memory-pressure storm on the executor of the Nth task
+        launch: its effective budget shrinks to ``factor`` for that moment,
+        spilling/evicting cached blocks (a deterministic force-spill storm)."""
+        with self._lock:
+            self._memory_squeezes.append((task_launch_index, factor))
 
     # -- targeted stragglers ---------------------------------------------------------
 
@@ -182,8 +208,10 @@ class FaultInjector:
             active = (
                 self._task_kills
                 or self._targeted_delays
+                or self._memory_squeezes
                 or self.task_failure_prob > 0
                 or self.straggler_prob > 0
+                or self.memory_squeeze_prob > 0
             )
             if not active:
                 return _NO_CHAOS
@@ -196,6 +224,19 @@ class FaultInjector:
                 else:
                     remaining.append((at, executor_id))
             self._task_kills = remaining
+            squeeze_remaining: list[tuple[int, float]] = []
+            for at, factor in self._memory_squeezes:
+                if n >= at:
+                    # Most aggressive squeeze wins when several fire at once.
+                    if decision.memory_squeeze_factor == 0.0:
+                        decision.memory_squeeze_factor = factor
+                    else:
+                        decision.memory_squeeze_factor = min(
+                            decision.memory_squeeze_factor, factor
+                        )
+                else:
+                    squeeze_remaining.append((at, factor))
+            self._memory_squeezes = squeeze_remaining
             if salt == 0:
                 for i, (t_split, t_delay, t_stage) in enumerate(self._targeted_delays):
                     if t_split == split and (t_stage is None or t_stage == stage_id):
@@ -211,6 +252,14 @@ class FaultInjector:
         if self.straggler_prob > 0 and attempt == 0 and decision.fail is None:
             if _draw(self.seed, "straggle", stage_id, split, salt) < self.straggler_prob:
                 decision.delay_seconds = max(decision.delay_seconds, self.straggler_delay)
+        if self.memory_squeeze_prob > 0 and decision.memory_squeeze_factor == 0.0:
+            # Seeded per (stage, split, attempt, salt): a given seed squeezes
+            # the same logical launches in both scheduler modes.
+            if (
+                _draw(self.seed, "memsqueeze", stage_id, split, attempt, salt)
+                < self.memory_squeeze_prob
+            ):
+                decision.memory_squeeze_factor = self.memory_squeeze_factor
         return decision
 
     def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
@@ -230,9 +279,11 @@ class FaultInjector:
             self.killed.clear()
             self._task_kills.clear()
             self._targeted_delays.clear()
+            self._memory_squeezes.clear()
             self._fetch_counts.clear()
             self._shuffle_order.clear()
             self._task_launches = 0
             self.task_failure_prob = 0.0
             self.fetch_failure_prob = 0.0
             self.straggler_prob = 0.0
+            self.memory_squeeze_prob = 0.0

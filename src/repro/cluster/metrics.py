@@ -85,6 +85,10 @@ RECOVERY_EVENT_KINDS = (
     "chaos_straggler",       # injected slow task
     "block_recomputed",      # a lost cached block was rebuilt from lineage
     "stale_partition_rebuilt",  # version guard refused a stale indexed copy
+    "block_spilled",         # memory pressure moved sealed batches to disk
+    "block_evicted",         # memory pressure dropped a whole cached block
+    "memory_pressure",       # budget exhausted even after spill + evict
+    "chaos_memory_squeeze",  # injected squeeze of an executor's budget
 )
 
 

@@ -90,6 +90,27 @@ class Config:
         drawn from per-site seeded hashes (``chaos_seed``), so a given
         seed reproduces the same failures regardless of thread
         interleaving. Probabilities of 0 (the default) disable chaos.
+    executor_memory_bytes:
+        Per-executor byte budget for cached blocks (DESIGN.md §10). 0 (the
+        default) disables metering entirely — the block store is unbounded,
+        the pre-PR-4 behaviour. Under a budget, an over-limit put degrades
+        through tiers: sealed indexed row batches **spill** to
+        ``spill_dir``, then whole blocks are **evicted** by
+        ``eviction_policy`` (re-requests rebuild them from lineage), and
+        only when neither frees enough does the put raise a *retryable*
+        :class:`~repro.engine.memory_manager.MemoryPressureError` — which
+        the task scheduler treats like any transient task failure (backoff,
+        blacklisting, per-stage attempt budget).
+    spill_dir:
+        Directory for spilled row-batch files (None: the system temp dir).
+        Files are removed when their batch is garbage-collected, when a
+        post-fault-in write invalidates them, and on block-store clears.
+    eviction_policy:
+        ``"lru"`` evicts the least-recently-accessed block first;
+        ``"reference_distance"`` (after arXiv:1804.10563) prefers evicting
+        blocks whose RDD the DAG references least — consulting the lineage
+        reference counts the context accumulates per job — and breaks ties
+        by LRU.
     """
 
     default_parallelism: int = 8
@@ -127,6 +148,18 @@ class Config:
     chaos_fetch_failure_prob: float = 0.0
     chaos_straggler_prob: float = 0.0
     chaos_straggler_delay: float = 0.02
+    #: Probability that a task launch triggers a memory-pressure storm on
+    #: its executor: the effective budget shrinks to
+    #: ``chaos_memory_squeeze_factor`` of the configured one for that
+    #: moment, forcing spills/evictions (OOM-adjacent chaos).
+    chaos_memory_squeeze_prob: float = 0.0
+    chaos_memory_squeeze_factor: float = 0.5
+    #: Per-executor cached-block budget in bytes; 0 = unbounded (no metering).
+    executor_memory_bytes: int = 0
+    #: Where spilled row batches live (None: the system temp directory).
+    spill_dir: "str | None" = None
+    #: Block eviction order under memory pressure: "lru" | "reference_distance".
+    eviction_policy: str = "lru"
     #: Enable the span tracer (query/stage/task/operator spans + Chrome
     #: trace export). Off by default: the disabled fast path is a single
     #: attribute check per instrumented site (no allocation, no clock read).

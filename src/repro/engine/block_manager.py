@@ -13,30 +13,46 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.engine.memory_manager import MemoryPressureError
 from repro.engine.partition import TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import EngineContext
+    from repro.engine.memory_manager import MemoryManager
     from repro.engine.rdd import RDD
 
 BlockId = tuple[int, int]  # (rdd_id, partition_index)
 
 
 class BlockManager:
-    """One executor's block store."""
+    """One executor's block store, optionally metered by a
+    :class:`~repro.engine.memory_manager.MemoryManager`.
 
-    def __init__(self, executor_id: str) -> None:
+    Without a memory manager (or with ``executor_memory_bytes == 0``) this
+    is the original unbounded dict. Under a budget, ``put`` meters the
+    block, degrades through spill/evict tiers, and raises the retryable
+    ``MemoryPressureError`` when the block cannot fit (DESIGN.md §10).
+    """
+
+    def __init__(self, executor_id: str, memory: "MemoryManager | None" = None) -> None:
         self.executor_id = executor_id
         self._blocks: dict[BlockId, Any] = {}
         self._lock = threading.Lock()
+        self.memory = memory
 
     def put(self, block_id: BlockId, value: Any) -> None:
         with self._lock:
-            self._blocks[block_id] = value
+            if self.memory is not None:
+                self.memory.admit(block_id, value, self._blocks)
+            else:
+                self._blocks[block_id] = value
 
     def get(self, block_id: BlockId) -> Any | None:
         with self._lock:
-            return self._blocks.get(block_id)
+            value = self._blocks.get(block_id)
+            if value is not None and self.memory is not None:
+                self.memory.on_access(block_id, value)
+            return value
 
     def contains(self, block_id: BlockId) -> bool:
         with self._lock:
@@ -45,14 +61,48 @@ class BlockManager:
     def remove(self, block_id: BlockId) -> None:
         with self._lock:
             self._blocks.pop(block_id, None)
+            if self.memory is not None:
+                self.memory.on_remove(block_id, self._blocks)
 
     def clear(self) -> None:
+        from repro.indexed.out_of_core import discard_resident_files
+
         with self._lock:
+            # Resident batches' spill files are stale caches — unlink them
+            # now; files of still-spilled batches are reclaimed by their GC
+            # finalizers once the last sharing version drops.
+            for value in self._blocks.values():
+                discard_resident_files(value)
             self._blocks.clear()
+            if self.memory is not None:
+                self.memory.on_clear()
 
     def block_ids(self) -> list[BlockId]:
         with self._lock:
             return list(self._blocks)
+
+    def used_bytes(self) -> int:
+        """Metered bytes in the store (0 when unmetered)."""
+        with self._lock:
+            return self.memory.used_bytes if self.memory is not None else 0
+
+    def pressure_storm(
+        self,
+        factor: float,
+        job_index: int = -1,
+        stage_id: "int | None" = None,
+        partition: "int | None" = None,
+    ) -> None:
+        """Chaos entry point: shed down to ``factor`` of the budget now."""
+        if self.memory is not None:
+            self.memory.pressure_storm(
+                factor,
+                self._lock,
+                self._blocks,
+                job_index=job_index,
+                stage_id=stage_id,
+                partition=partition,
+            )
 
 
 class BlockManagerMaster:
@@ -60,8 +110,9 @@ class BlockManagerMaster:
 
     def __init__(self) -> None:
         self._locations: dict[BlockId, list[str]] = {}
-        #: Blocks whose last replica died with its executor — consulted by
-        #: the CacheManager to attribute recomputation cost to recovery.
+        #: Blocks whose last replica is gone — died with its executor or was
+        #: evicted under memory pressure — consulted by the CacheManager to
+        #: attribute recomputation cost to recovery.
         self._lost: set[BlockId] = set()
         self._lock = threading.Lock()
 
@@ -88,6 +139,18 @@ class BlockManagerMaster:
                         del self._locations[block_id]
                         self._lost.add(block_id)
         return lost
+
+    def mark_evicted(self, block_id: BlockId, executor_id: str) -> None:
+        """One executor dropped the block under memory pressure. When that
+        was the last replica, the block joins the lost set so its eventual
+        recompute is attributed (``block_recomputed``) like any recovery."""
+        with self._lock:
+            locs = self._locations.get(block_id)
+            if locs is not None and executor_id in locs:
+                locs.remove(executor_id)
+                if not locs:
+                    del self._locations[block_id]
+                    self._lost.add(block_id)
 
     def was_lost(self, block_id: BlockId) -> bool:
         """True when the block's last replica died and it has not yet been
@@ -161,7 +224,16 @@ class CacheManager:
             materialized = list(rdd.compute(split, ctx))
             elapsed = time.perf_counter() - t0
             ctxm.registry.observe("block_compute_seconds", elapsed)
-            local.put(block_id, materialized)
+            try:
+                local.put(block_id, materialized)
+            except MemoryPressureError:
+                # Backpressure: the budget is exhausted and shedding could
+                # not make room. Propagate retryably — the task scheduler
+                # backs off, draws on the stage attempt budget, and
+                # blacklists this executor, so the retry lands where there
+                # is room (the append-path flow control of DESIGN.md §10).
+                ctxm.registry.inc("cache_put_rejected_total")
+                raise
             ctxm.block_manager_master.register(block_id, ctx.executor_id)
             if was_lost:
                 ctxm.metrics.record_recovery(

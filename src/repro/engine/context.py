@@ -65,6 +65,8 @@ class EngineContext:
             fetch_failure_prob=self.config.chaos_fetch_failure_prob,
             straggler_prob=self.config.chaos_straggler_prob,
             straggler_delay=self.config.chaos_straggler_delay,
+            memory_squeeze_prob=self.config.chaos_memory_squeeze_prob,
+            memory_squeeze_factor=self.config.chaos_memory_squeeze_factor,
         )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
@@ -77,6 +79,10 @@ class EngineContext:
         self._rdd_id = 0
         self._job_index = 0
         self._lock = threading.Lock()
+        #: rdd_id -> how many jobs referenced it through their lineage —
+        #: the DAG signal behind the "reference_distance" eviction policy
+        #: (arXiv:1804.10563): blocks of rarely-referenced RDDs go first.
+        self._lineage_refs: dict[int, int] = {}
         #: executor_id -> task launches remaining until its replacement
         #: registers (executor_replacement healing).
         self._pending_restarts: dict[str, int] = {}
@@ -188,12 +194,40 @@ class EngineContext:
         n = num_partitions or self.config.default_parallelism
         return ParallelCollectionRDD(self, list(data), n)
 
+    def lineage_ref_counts(self) -> dict[int, int]:
+        """Snapshot of per-RDD lineage reference counts (eviction policy input)."""
+        with self._lock:
+            return dict(self._lineage_refs)
+
+    def _note_lineage_refs(self, rdd: RDD) -> None:
+        """Walk the job's lineage; count a reference for every cached RDD.
+
+        This is what makes reference-distance eviction *lineage-aware*: a
+        cached RDD that many jobs' DAGs flow through accumulates references
+        and is kept; one no job has touched in a while stays cheap to evict.
+        """
+        seen: set[int] = set()
+        stack: list[RDD] = [rdd]
+        counted: list[int] = []
+        while stack:
+            node = stack.pop()
+            if node.rdd_id in seen:
+                continue
+            seen.add(node.rdd_id)
+            if node.cached:
+                counted.append(node.rdd_id)
+            stack.extend(dep.rdd for dep in node.dependencies)
+        with self._lock:
+            for rdd_id in counted:
+                self._lineage_refs[rdd_id] = self._lineage_refs.get(rdd_id, 0) + 1
+
     def run_job(
         self,
         rdd: RDD,
         func: Callable[[Iterator[Any], TaskContext], Any],
         partitions: list[int] | None = None,
     ) -> list[Any]:
+        self._note_lineage_refs(rdd)
         with self._lock:
             self._job_index += 1
             job = self._job_index

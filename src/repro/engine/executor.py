@@ -9,6 +9,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.cluster.metrics import TaskMetrics
 from repro.cluster.topology import ExecutorSpec
 from repro.engine.block_manager import BlockManager
+from repro.engine.memory_manager import MemoryManager
 from repro.engine.partition import TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,7 +29,10 @@ class ExecutorRuntime:
         self.context = context
         self.spec = spec
         self.executor_id = spec.executor_id
-        self.block_manager = BlockManager(spec.executor_id)
+        #: Per-executor byte budget + spill/evict tiers (DESIGN.md §10); a
+        #: no-op pass-through when ``executor_memory_bytes`` is 0.
+        self.memory_manager = MemoryManager(context, spec.executor_id)
+        self.block_manager = BlockManager(spec.executor_id, memory=self.memory_manager)
         self.alive = True
         self.tasks_run = 0
         # tasks_run is a read-modify-write shared across pool threads.

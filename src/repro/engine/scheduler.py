@@ -539,6 +539,19 @@ class TaskScheduler:
             tried.add(executor_id)
             if exec_holder is not None:
                 exec_holder[0] = executor_id
+            if decision.memory_squeeze_factor > 0:
+                # Chaos memory pressure: shed the chosen executor's cached
+                # blocks down to the squeezed budget before the task runs.
+                # Never fails the task by itself — it only forces the
+                # spill/evict tiers (and any lineage recomputes they cause).
+                squeezed = self.context.executors.get(executor_id)
+                if squeezed is not None and squeezed.alive:
+                    squeezed.block_manager.pressure_storm(
+                        decision.memory_squeeze_factor,
+                        job_index=job_index,
+                        stage_id=stage.stage_id,
+                        partition=split,
+                    )
             try:
                 if decision.fail is not None:
                     metrics.record_recovery(

@@ -203,20 +203,47 @@ class IndexedDataFrame:
         return [Row(t, schema) for t in tuples]
 
     def memory_stats(self) -> list[dict[str, float]]:
-        """Per-partition (index bytes, data bytes, overhead ratio) — Fig. 11."""
+        """Per-partition (index bytes, data bytes, overhead ratio) — Fig. 11.
+
+        Under a memory budget (DESIGN.md §10) also reports what is actually
+        resident: ``resident_bytes`` excludes batches spilled to disk, and
+        ``spill_faults`` counts how often spilled batches were loaded back.
+        """
 
         def stats(it, _ctx):
             p = next(iter(it))
             idx = p.index_bytes()
             data = p.storage_bytes()
-            return {
+            out = {
                 "partition_rows": float(p.row_count),
                 "index_bytes": float(idx),
                 "data_bytes": float(data),
                 "overhead": idx / max(1, data),
             }
+            if hasattr(p, "resident_batch_bytes"):
+                out["resident_bytes"] = float(p.resident_batch_bytes())
+                out["spill_faults"] = float(p.spill_faults())
+            return out
 
         return self.session.context.run_job(self.rdd, stats)
+
+    def spill_index(self, keep_tail: bool = True) -> int:
+        """Proactively spill every cached partition's sealed row batches to
+        disk, returning the number of bytes moved out of memory.
+
+        The memory manager does this reactively when an executor exceeds
+        ``Config.executor_memory_bytes``; this entry point lets an
+        application shed a cold index ahead of a known memory spike. Spilled
+        batches fault back in transparently on the next lookup or scan.
+        """
+        spill_dir = self.session.context.config.spill_dir
+
+        def spill(it, _ctx):
+            from repro.indexed.out_of_core import spill_partition
+
+            return spill_partition(next(iter(it)), spill_dir=spill_dir, keep_tail=keep_tail)
+
+        return sum(self.session.context.run_job(self.rdd, spill))
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

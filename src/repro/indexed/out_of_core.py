@@ -14,8 +14,15 @@ appends) to spilled form — the natural cold/hot split for an append-only
 store. Lookups keep working unchanged; they just pay a fault on first
 touch of a cold batch, which the ``faults`` counter exposes for benchmarks.
 
-Spilled batches are immutable (sealed) by construction; versions sharing a
-batch all observe the spill/fault transparently.
+Spilled batches are sealed by construction: writes are rejected until the
+batch is faulted back in, and any write after a fault-in *invalidates* the
+backing file (a later re-spill rewrites it), so a faulted-in-then-appended
+batch can never re-spill stale bytes. Versions sharing a batch all observe
+the spill/fault transparently.
+
+File lifecycle: every spill file is registered with a ``weakref.finalize``
+so it is unlinked when its batch is garbage-collected, and explicitly via
+``discard_file`` / :func:`discard_resident_files` on block-store clears.
 """
 
 from __future__ import annotations
@@ -23,9 +30,19 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time
+import weakref
+from typing import Any, Callable
 
 from repro.indexed.partition import IndexedPartition
 from repro.indexed.row_batch import RowBatch
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 class SpillableRowBatch:
@@ -34,7 +51,9 @@ class SpillableRowBatch:
     Same interface as :class:`RowBatch` (``reserve``/``write``/``append``/
     ``buf``/``used``/``capacity``) plus ``spill()``/``ensure_resident()``.
     Writes require residency; sealed (spilled) batches are read-only until
-    faulted back in.
+    faulted back in. ``on_fault`` (when set) is called with
+    ``(bytes_loaded, seconds)`` after every fault-in — the hook the memory
+    manager uses to meter fault-back traffic.
     """
 
     def __init__(self, capacity: int, spill_dir: "str | None" = None) -> None:
@@ -46,8 +65,11 @@ class SpillableRowBatch:
         self._lock = threading.Lock()
         self._spill_dir = spill_dir or tempfile.gettempdir()
         self._path: "str | None" = None
+        self._finalizer: "weakref.finalize | None" = None
         #: Number of faults (loads from disk) — the out-of-core read cost.
         self.faults = 0
+        #: Optional ``(nbytes, seconds)`` callback fired after a fault-in.
+        self.on_fault: "Callable[[int, float], None] | None" = None
 
     # -- RowBatch interface ---------------------------------------------------
 
@@ -70,11 +92,17 @@ class SpillableRowBatch:
                 return None
             offset = self._used
             self._used += nbytes
+            # The on-disk copy (if any) no longer matches what will be in
+            # memory: drop it so a re-spill rewrites fresh bytes.
+            self._invalidate_file_locked()
             return offset
 
     def write(self, offset: int, data: bytes) -> None:
         if self._buf is None:
             raise RuntimeError("cannot write to a spilled batch")
+        if self._path is not None:
+            with self._lock:
+                self._invalidate_file_locked()
         self._buf[offset : offset + len(data)] = data
 
     def append(self, data: bytes) -> "int | None":
@@ -96,15 +124,22 @@ class SpillableRowBatch:
     def spill(self) -> int:
         """Write the used bytes to disk and release the in-memory buffer.
 
-        Returns the bytes freed. Idempotent; a second spill reuses the file.
+        Returns the bytes freed. Idempotent; a second spill of an untouched
+        batch reuses the file (post-fault-in writes invalidate it, so a
+        reused file is never stale).
         """
         with self._lock:
             if self._buf is None:
                 return 0
             if self._path is None:
+                os.makedirs(self._spill_dir, exist_ok=True)
                 fd, self._path = tempfile.mkstemp(
                     prefix="rowbatch-", suffix=".spill", dir=self._spill_dir
                 )
+                # Unlink the file when this batch object is collected, so
+                # dropped partitions (evictions, executor kills, test
+                # teardown) cannot leak temp files.
+                self._finalizer = weakref.finalize(self, _unlink_quiet, self._path)
                 with os.fdopen(fd, "wb") as f:
                     f.write(bytes(self._buf[: self._used]))
             freed = self.capacity
@@ -117,21 +152,31 @@ class SpillableRowBatch:
             if self._buf is not None:
                 return
             assert self._path is not None
+            t0 = time.perf_counter()
             buf = bytearray(self.capacity)
             with open(self._path, "rb") as f:
                 data = f.read()
             buf[: len(data)] = data
             self._buf = buf
             self.faults += 1
+            elapsed = time.perf_counter() - t0
+            listener = self.on_fault
+        if listener is not None:
+            listener(self.capacity, elapsed)
+
+    def _invalidate_file_locked(self) -> None:
+        """Drop the backing file (caller holds ``_lock``)."""
+        if self._path is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            _unlink_quiet(self._path)
+            self._path = None
 
     def discard_file(self) -> None:
         """Remove the backing file (after faulting in, or on drop)."""
-        if self._path is not None:
-            try:
-                os.unlink(self._path)
-            except FileNotFoundError:
-                pass
-            self._path = None
+        with self._lock:
+            self._invalidate_file_locked()
 
     @classmethod
     def from_batch(cls, batch: "RowBatch | SpillableRowBatch", spill_dir: "str | None" = None) -> "SpillableRowBatch":
@@ -151,29 +196,58 @@ def spill_partition(
     partition: IndexedPartition,
     spill_dir: "str | None" = None,
     keep_tail: bool = True,
+    on_fault: "Callable[[int, float], None] | None" = None,
 ) -> int:
     """Convert the partition's sealed batches to spilled form.
 
     The active tail batch (still receiving appends) stays in memory when
     ``keep_tail``; everything else moves to disk. Returns bytes freed.
-    Chain walks keep working — cold batches fault back in on first read.
+    Chain walks keep working — cold batches fault back in on first read
+    (firing ``on_fault`` when given, so callers can meter the traffic).
     """
     freed = 0
-    last = len(partition.batches) - 1
-    for i, batch in enumerate(partition.batches):
+    batches = getattr(partition, "batches", None)
+    if batches is None:
+        return 0  # columnar partitions have no row batches to spill
+    last = len(batches) - 1
+    for i, batch in enumerate(batches):
         if keep_tail and i == last:
             continue
         if not isinstance(batch, SpillableRowBatch):
             batch = SpillableRowBatch.from_batch(batch, spill_dir=spill_dir)
-            partition.batches[i] = batch
+            batches[i] = batch
+        if on_fault is not None:
+            batch.on_fault = on_fault
         freed += batch.spill()
     return freed
+
+
+def discard_resident_files(value: Any) -> int:
+    """Unlink backing files of *resident* spillable batches in ``value``.
+
+    A resident batch's file is a stale cache of bytes that are already in
+    memory — safe to drop even when MVCC siblings share the batch object (a
+    later spill simply rewrites it). Files of still-spilled batches are left
+    alone (another version may need to fault them in); those are reclaimed
+    by each batch's GC finalizer instead. Returns the number of files
+    removed. Accepts a partition, a list of partitions, or anything else
+    (ignored).
+    """
+    removed = 0
+    items = value if isinstance(value, (list, tuple)) else [value]
+    for item in items:
+        for batch in getattr(item, "batches", ()) or ():
+            if isinstance(batch, SpillableRowBatch) and batch.resident:
+                if batch._path is not None:
+                    batch.discard_file()
+                    removed += 1
+    return removed
 
 
 def resident_bytes(partition: IndexedPartition) -> int:
     """Bytes of batch capacity currently held in memory."""
     total = 0
-    for batch in partition.batches:
+    for batch in getattr(partition, "batches", ()) or ():
         if isinstance(batch, SpillableRowBatch):
             if batch.resident:
                 total += batch.capacity
@@ -184,5 +258,7 @@ def resident_bytes(partition: IndexedPartition) -> int:
 
 def fault_count(partition: IndexedPartition) -> int:
     return sum(
-        b.faults for b in partition.batches if isinstance(b, SpillableRowBatch)
+        b.faults
+        for b in getattr(partition, "batches", ()) or ()
+        if isinstance(b, SpillableRowBatch)
     )

@@ -97,7 +97,13 @@ class IndexedPartition:
     def _append_bytes(self, data: bytes) -> tuple[int, int]:
         """Place ``data`` in the tail batch (or a fresh one); (batch, offset)."""
         if self.batches:
-            offset = self.batches[-1].append(data)
+            tail = self.batches[-1]
+            # A spilled tail (full spill, or a snapshot sharing one) faults
+            # back in before taking writes; the write then invalidates the
+            # on-disk copy so a re-spill can never resurrect stale bytes.
+            if not getattr(tail, "resident", True):
+                tail.ensure_resident()
+            offset = tail.append(data)
             if offset is not None:
                 batch_idx = len(self.batches) - 1
                 self._note_write(batch_idx, offset, len(data))
@@ -271,6 +277,14 @@ class IndexedPartition:
     def allocated_bytes(self) -> int:
         """Bytes allocated in batches (capacity, incl. slack)."""
         return sum(b.capacity for b in self.batches)
+
+    def resident_batch_bytes(self) -> int:
+        """Batch capacity currently held in memory (spilled batches excluded)."""
+        return sum(b.capacity for b in self.batches if getattr(b, "resident", True))
+
+    def spill_faults(self) -> int:
+        """Total disk fault-ins paid by this partition's spillable batches."""
+        return sum(getattr(b, "faults", 0) for b in self.batches)
 
     @property
     def nbytes(self) -> int:

@@ -128,6 +128,12 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(_key(name, labels))
 
+    def gauge_total(self, name: str) -> float:
+        """Sum of gauge ``name`` across all label sets (e.g. bytes cached
+        summed over per-executor gauges)."""
+        with self._lock:
+            return sum(v for (n, _), v in self._gauges.items() if n == name)
+
     def histogram_stats(self, name: str, **labels: Any) -> dict[str, float]:
         with self._lock:
             hist = self._histograms.get(_key(name, labels))

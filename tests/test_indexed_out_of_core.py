@@ -113,3 +113,86 @@ class TestSpillPartition:
         assert child.lookup(3)[0][1] == 999
         # Parent's view is unchanged and still readable from disk.
         assert all(r[1] != 999 for r in p.lookup(3))
+
+
+class TestFileLifecycle:
+    """Spill temp files must never outlive the data they cache."""
+
+    def test_finalizer_unlinks_on_gc(self, tmp_path):
+        """Leak regression: dropping the last reference to a spilled batch
+        removes its .spill file (weakref.finalize path)."""
+        import gc
+
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"gone soon")
+        b.spill()
+        assert len(list(tmp_path.iterdir())) == 1
+        del b
+        gc.collect()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_discard_file_idempotent(self, tmp_path):
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"abc")
+        b.spill()
+        b.ensure_resident()
+        b.discard_file()
+        b.discard_file()  # second call is a no-op
+        assert list(tmp_path.iterdir()) == []
+
+    def test_spill_creates_missing_dir(self, tmp_path):
+        target = tmp_path / "nested" / "spill"
+        b = SpillableRowBatch(64, spill_dir=str(target))
+        b.append(b"abc")
+        assert b.spill() == 64
+        assert len(list(target.iterdir())) == 1
+        b.discard_file()
+
+    def test_respill_after_fault_and_write_serves_fresh_bytes(self, tmp_path):
+        """Stale re-spill regression: fault in, append, re-spill — the file
+        must hold the *new* bytes, not the pre-fault ones."""
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"old")
+        b.spill()
+        b.ensure_resident()
+        b.append(b"NEW")          # invalidates the cached file
+        assert b.spill() == 64    # rewrites, not reuses
+        assert bytes(b.buf[:6]) == b"oldNEW"
+
+    def test_respill_after_overwrite_serves_fresh_bytes(self, tmp_path):
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"old")
+        b.spill()
+        b.ensure_resident()
+        b.write(0, b"NEW")        # in-place overwrite, same invalidation
+        b.spill()
+        assert bytes(b.buf[:3]) == b"NEW"
+
+    def test_untouched_respill_reuses_file(self, tmp_path):
+        """The reuse fast path stays: fault-in with no writes re-spills
+        without rewriting."""
+        b = SpillableRowBatch(64, spill_dir=str(tmp_path))
+        b.append(b"stable")
+        b.spill()
+        (path,) = list(tmp_path.iterdir())
+        mtime = path.stat().st_mtime_ns
+        b.ensure_resident()
+        b.spill()
+        (path2,) = list(tmp_path.iterdir())
+        assert path2 == path and path.stat().st_mtime_ns == mtime
+
+    def test_block_manager_clear_removes_resident_files(self, tmp_path):
+        """BlockManager.clear() unlinks files of faulted-in (resident)
+        batches instead of leaving stale caches behind."""
+        from repro.engine.block_manager import BlockManager
+
+        p = IndexedPartition(SCHEMA, "k", batch_size=512)
+        p.insert_rows([(i % 25, i, float(i)) for i in range(400)])
+        spill_partition(p, spill_dir=str(tmp_path))
+        for k in range(25):
+            p.lookup(k)  # fault everything back in
+        assert len(list(tmp_path.iterdir())) > 0
+        bm = BlockManager("m0e0")
+        bm.put((1, 0), [p])
+        bm.clear()
+        assert list(tmp_path.iterdir()) == []
