@@ -1,0 +1,246 @@
+"""Serving smoke: point-lookup throughput across the three serving tiers.
+
+Open-loop-ish load generator (clients keep a window of tickets in flight,
+retrying retryable rejections) over the same point-lookup workload under
+three configurations:
+
+* **naive** — plan cache off, fast path off: every query pays
+  parse -> analyze -> optimize -> plan -> job, the pre-serving behaviour;
+* **plan_cache** — prepared statements over the plan cache, fast path off:
+  planning is amortized, execution still schedules a job per query;
+* **fastpath** — prepared statements + snapshot-pinned lookups: queries are
+  answered on the worker thread from the pinned cTrie, no jobs at all.
+
+The smoke fails (non-zero exit) unless:
+
+* all three tiers return identical answers,
+* the fastpath tier is >= 3x the naive tier on throughput,
+* the chaos scenario (executor kill + memory squeeze + injected admission
+  rejections, under live ingest) completes with **zero wrong answers** and
+  only retryable rejections.
+
+Writes ``BENCH_PR5.json`` (throughput, p50/p95/p99 latency per tier, chaos
+summary) at the repository root.
+
+Usage::
+
+    python benchmarks/serve_smoke.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import Config  # noqa: E402
+from repro.engine.context import EngineContext  # noqa: E402
+from repro.serve import IngestLoop, QueryServer, ServeConfig, ServeRejected  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, STRING, Schema  # noqa: E402
+
+USER_SCHEMA = Schema.of(("uid", LONG), ("name", STRING), ("score", DOUBLE))
+N_USERS = 2000
+N_QUERIES = 400
+WINDOW = 16  # tickets in flight per load-generator pass
+
+
+def make_rows(n: int) -> list[tuple]:
+    return [(i, f"user{i % 31}", float((i * 37) % 1000) / 10.0) for i in range(n)]
+
+
+def make_server(plan_cache: bool, fastpath: bool, **config_overrides) -> tuple[Session, QueryServer]:
+    config = Config(
+        default_parallelism=4,
+        shuffle_partitions=4,
+        row_batch_size=16384,
+        scheduler_mode="sequential",
+        plan_cache_capacity=256 if plan_cache else 0,
+        **config_overrides,
+    )
+    session = Session(context=EngineContext(config=config))
+    df = session.create_dataframe(make_rows(N_USERS), USER_SCHEMA, name="users")
+    idf = df.create_index("uid")
+    server = QueryServer(
+        session, ServeConfig(num_workers=4, max_queue_depth=64, enable_fastpath=fastpath)
+    )
+    server.publish("users", idf)
+    return session, server
+
+
+def submit_with_retry(server: QueryServer, text: str, params=None, max_tries: int = 50):
+    """The client loop the server's contract implies: retryable rejections
+    back off and resend; anything else is a real failure."""
+    for _ in range(max_tries):
+        try:
+            return server.submit(text, params=params)
+        except ServeRejected as exc:
+            if not exc.retryable:
+                raise
+            time.sleep(0.002)
+    raise RuntimeError(f"admission kept rejecting for {max_tries} tries: {text!r}")
+
+
+def drive(server: QueryServer, use_params: bool) -> tuple[list, float]:
+    """Issue N_QUERIES point lookups with WINDOW tickets in flight; returns
+    (answers keyed by uid, wall seconds)."""
+    answers: list = [None] * N_QUERIES
+    in_flight: list = []
+    t0 = time.perf_counter()
+    for i in range(N_QUERIES):
+        uid = (i * 13) % N_USERS
+        if use_params:
+            ticket = submit_with_retry(
+                server, "SELECT * FROM users WHERE uid = ?", params=[uid]
+            )
+        else:
+            ticket = submit_with_retry(server, f"SELECT * FROM users WHERE uid = {uid}")
+        in_flight.append((i, ticket))
+        if len(in_flight) >= WINDOW:
+            slot, done = in_flight.pop(0)
+            answers[slot] = sorted(done.result(timeout=120.0).rows)
+    for slot, ticket in in_flight:
+        answers[slot] = sorted(ticket.result(timeout=120.0).rows)
+    return answers, time.perf_counter() - t0
+
+
+def run_tier(name: str, plan_cache: bool, fastpath: bool) -> tuple[dict, list]:
+    session, server = make_server(plan_cache, fastpath)
+    with server:
+        answers, wall_s = drive(server, use_params=plan_cache or fastpath)
+    registry = session.context.registry
+    by_path = registry.counter_by_label("serve_queries_total", "path")
+    dominant_path = max(by_path, key=by_path.get) if by_path else "none"
+    pcts = registry.histogram_percentiles("serve_latency_seconds", path=dominant_path)
+    tier = {
+        "throughput_qps": N_QUERIES / wall_s,
+        "wall_s": wall_s,
+        "latency": pcts,
+        "queries_by_path": by_path,
+        "jobs_submitted": registry.counter_value("jobs_submitted_total"),
+        "plan_cache": session.plan_cache.stats(),
+    }
+    print(
+        f"{name:>10}: {tier['throughput_qps']:8.0f} q/s  "
+        f"p50={pcts['p50'] * 1e3:.2f}ms p99={pcts['p99'] * 1e3:.2f}ms  "
+        f"paths={by_path}"
+    )
+    return tier, answers
+
+
+def run_chaos() -> dict:
+    """Executor kill + memory squeeze + injected rejections under live
+    ingest: the server must shed retryably and never answer wrong."""
+    session, server = make_server(
+        plan_cache=True,
+        fastpath=True,
+        chaos_seed=23,
+        chaos_serve_rejection_prob=0.1,
+        chaos_memory_squeeze_prob=0.2,
+        chaos_memory_squeeze_factor=0.5,
+        executor_memory_bytes=512 * 1024,
+        executor_replacement=True,
+        executor_restart_delay_tasks=4,
+    )
+    expected = {r[0]: r for r in make_rows(N_USERS)}
+    wrong = rejections = answered = 0
+    with server:
+        ingest = IngestLoop(
+            server,
+            "users",
+            [[(100_000 + b * 10 + j, f"live{b}", 1.0) for j in range(10)] for b in range(8)],
+            retain_versions=2,
+        )
+        ingest.start()
+        context = session.context
+        for i in range(150):
+            if i == 50:  # mid-serving executor kill
+                context.kill_executor(context.alive_executor_ids()[0], reason="serve-chaos")
+            uid = (i * 7) % N_USERS
+            try:
+                result = server.query(
+                    "SELECT * FROM users WHERE uid = ?", params=[uid], timeout=120.0
+                )
+            except ServeRejected as exc:
+                if not exc.retryable:
+                    raise
+                rejections += 1
+                continue
+            answered += 1
+            if result.rows != [expected[uid]]:
+                wrong += 1
+        ingest.join(120.0)
+    if ingest.error is not None:
+        raise ingest.error
+    summary = {
+        "answered": answered,
+        "wrong_answers": wrong,
+        "retryable_rejections": rejections,
+        "ingest_versions": len(ingest.published_versions),
+        "replay_rows_truncated": ingest.rows_truncated,
+        "executors_killed": 1,
+    }
+    print(
+        f"     chaos: {answered} answered, {wrong} wrong, "
+        f"{rejections} retryable rejections, "
+        f"{summary['ingest_versions']} versions published, "
+        f"{summary['replay_rows_truncated']} replay rows truncated"
+    )
+    return summary
+
+
+def main() -> int:
+    failures: list[str] = []
+    naive, naive_answers = run_tier("naive", plan_cache=False, fastpath=False)
+    cached, cached_answers = run_tier("plan_cache", plan_cache=True, fastpath=False)
+    fast, fast_answers = run_tier("fastpath", plan_cache=True, fastpath=True)
+    tiers = {"naive": naive, "plan_cache": cached, "fastpath": fast}
+
+    if not (naive_answers == cached_answers == fast_answers):
+        failures.append("tiers disagree on answers")
+    if fast["queries_by_path"].get("fastpath", 0) < N_QUERIES:
+        failures.append(
+            f"fastpath tier did not fast-path everything: {fast['queries_by_path']}"
+        )
+    speedup = fast["throughput_qps"] / naive["throughput_qps"]
+    print(f"   speedup: fastpath vs naive = {speedup:.1f}x (gate: >= 3x)")
+    if speedup < 3.0:
+        failures.append(f"fastpath speedup {speedup:.2f}x < 3x over naive")
+
+    chaos = run_chaos()
+    if chaos["wrong_answers"]:
+        failures.append(f"chaos run produced {chaos['wrong_answers']} wrong answers")
+    if chaos["retryable_rejections"] == 0:
+        failures.append("chaos injection never fired (rejections == 0)")
+    if chaos["ingest_versions"] == 0 or chaos["replay_rows_truncated"] == 0:
+        failures.append("ingest/truncation did not run during chaos")
+
+    bench = {
+        "workload": {"users": N_USERS, "queries": N_QUERIES, "window": WINDOW},
+        "tiers": tiers,
+        "speedup_fastpath_vs_naive": speedup,
+        "speedup_plan_cache_vs_naive": cached["throughput_qps"] / naive["throughput_qps"],
+        "chaos": chaos,
+        "ok": not failures,
+    }
+    out = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+    )
+    out.write_text(json.dumps(bench, indent=2, default=str) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from repro.sql.types import (
 
 # Side effect: adds DataFrame.create_index (the "implicit conversion").
 from repro.indexed import IndexedDataFrame, enable_indexing  # noqa: E402  isort: skip
+from repro.serve import IngestLoop, QueryServer, ServeConfig, ServeRejected  # noqa: E402
 
 __version__ = "1.0.0"
 
@@ -50,9 +51,13 @@ __all__ = [
     "EngineContext",
     "INTEGER",
     "IndexedDataFrame",
+    "IngestLoop",
     "LONG",
+    "QueryServer",
     "STRING",
     "Schema",
+    "ServeConfig",
+    "ServeRejected",
     "Session",
     "StructField",
     "avg",

@@ -94,6 +94,10 @@ class FaultInjector:
     #: its executor's effective budget to ``memory_squeeze_factor``.
     memory_squeeze_prob: float = 0.0
     memory_squeeze_factor: float = 0.5
+    #: Probability that the query server's admission control sheds one
+    #: incoming query (always a *retryable* rejection, never a wrong
+    #: answer) — chaos for client retry loops. Keyed by query index.
+    serve_rejection_prob: float = 0.0
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
@@ -125,6 +129,7 @@ class FaultInjector:
         straggler_delay: float | None = None,
         memory_squeeze_prob: float | None = None,
         memory_squeeze_factor: float | None = None,
+        serve_rejection_prob: float | None = None,
     ) -> None:
         with self._lock:
             if seed is not None:
@@ -141,6 +146,8 @@ class FaultInjector:
                 self.memory_squeeze_prob = memory_squeeze_prob
             if memory_squeeze_factor is not None:
                 self.memory_squeeze_factor = memory_squeeze_factor
+            if serve_rejection_prob is not None:
+                self.serve_rejection_prob = serve_rejection_prob
 
     # -- scheduled kills -----------------------------------------------------------
 
@@ -262,6 +269,13 @@ class FaultInjector:
                 decision.memory_squeeze_factor = self.memory_squeeze_factor
         return decision
 
+    def on_serve(self, query_index: int) -> bool:
+        """True when the query server should shed this admission (seeded per
+        query index, so a given seed rejects the same queries every run)."""
+        if self.serve_rejection_prob <= 0:
+            return False
+        return _draw(self.seed, "serve", query_index) < self.serve_rejection_prob
+
     def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
         """True when this fetch should fail flakily (map output intact)."""
         if self.fetch_failure_prob <= 0:
@@ -287,3 +301,4 @@ class FaultInjector:
             self.fetch_failure_prob = 0.0
             self.straggler_prob = 0.0
             self.memory_squeeze_prob = 0.0
+            self.serve_rejection_prob = 0.0

@@ -154,6 +154,10 @@ class Config:
     #: moment, forcing spills/evictions (OOM-adjacent chaos).
     chaos_memory_squeeze_prob: float = 0.0
     chaos_memory_squeeze_factor: float = 0.5
+    #: Probability that the query server's admission control rejects an
+    #: incoming query (seeded, per query index) — chaos for client retry
+    #: paths; rejections are always retryable, never wrong answers.
+    chaos_serve_rejection_prob: float = 0.0
     #: Per-executor cached-block budget in bytes; 0 = unbounded (no metering).
     executor_memory_bytes: int = 0
     #: Where spilled row batches live (None: the system temp directory).
@@ -169,6 +173,9 @@ class Config:
     index_storage_format: str = "row"
     #: Rows per column chunk when index_storage_format == "columnar".
     columnar_chunk_rows: int = 4096
+    #: Entries in the session's normalized-SQL plan cache (DESIGN.md §11);
+    #: 0 disables plan caching (every query re-parses and re-plans).
+    plan_cache_capacity: int = 256
     extra: dict[str, Any] = field(default_factory=dict)
 
     def with_overrides(self, **kwargs: Any) -> "Config":

@@ -67,6 +67,7 @@ class EngineContext:
             straggler_delay=self.config.chaos_straggler_delay,
             memory_squeeze_prob=self.config.chaos_memory_squeeze_prob,
             memory_squeeze_factor=self.config.chaos_memory_squeeze_factor,
+            serve_rejection_prob=self.config.chaos_serve_rejection_prob,
         )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
@@ -79,6 +80,15 @@ class EngineContext:
         self._rdd_id = 0
         self._job_index = 0
         self._lock = threading.Lock()
+        #: Serializes whole-job execution. The DAG scheduler (like Spark's,
+        #: which runs on a single event loop) is not re-entrant: stage-id
+        #: allocation and shuffle-stage registration assume one job in
+        #: flight. Query-serving worker threads and the concurrent ingest
+        #: loop both drive jobs, so ``run_job`` takes this RLock — tasks
+        #: *within* a job still fan out across the thread pool; only job
+        #: submission itself is serialized (the snapshot-pinned lookup fast
+        #: path exists precisely to keep point reads off this lock).
+        self.job_lock = threading.RLock()
         #: rdd_id -> how many jobs referenced it through their lineage —
         #: the DAG signal behind the "reference_distance" eviction policy
         #: (arXiv:1804.10563): blocks of rarely-referenced RDDs go first.
@@ -227,16 +237,38 @@ class EngineContext:
         func: Callable[[Iterator[Any], TaskContext], Any],
         partitions: list[int] | None = None,
     ) -> list[Any]:
-        self._note_lineage_refs(rdd)
-        with self._lock:
-            self._job_index += 1
-            job = self._job_index
-        # Fault injection happens at job boundaries ("kill executor during
-        # the run of query N"), matching the paper's manual kill.
-        for victim in self.faults.check(job):
-            if victim in self.executors and self.executors[victim].alive:
-                self.kill_executor(victim, reason="scheduled")
-        return self.dag_scheduler.run_job(rdd, func, partitions, job_index=job)
+        with self.job_lock:
+            self._note_lineage_refs(rdd)
+            with self._lock:
+                self._job_index += 1
+                job = self._job_index
+            # Fault injection happens at job boundaries ("kill executor during
+            # the run of query N"), matching the paper's manual kill.
+            for victim in self.faults.check(job):
+                if victim in self.executors and self.executors[victim].alive:
+                    self.kill_executor(victim, reason="scheduled")
+            return self.dag_scheduler.run_job(rdd, func, partitions, job_index=job)
+
+    # -- serving hooks ------------------------------------------------------------------
+
+    def memory_pressure(self) -> float:
+        """Worst-case block-store fullness across alive executors, in [0, 1].
+
+        0.0 when no executor is metered (``executor_memory_bytes == 0``).
+        The query server's admission control sheds load above a threshold
+        of this value — backpressure *before* a query starts, complementing
+        the task-level :class:`MemoryPressureError` retries that protect
+        queries already running.
+        """
+        worst = 0.0
+        for runtime in self.executors.values():
+            if not runtime.alive:
+                continue
+            memory = runtime.block_manager.memory
+            if memory is None or memory.budget <= 0:
+                continue
+            worst = max(worst, memory.used_bytes / memory.budget)
+        return worst
 
     # -- convenience ----------------------------------------------------------------------
 

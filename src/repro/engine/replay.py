@@ -11,6 +11,15 @@ children of one parent both carry version ``parent+1``), records are keyed
 by a monotonically increasing **record id**, not by version; each versioned
 RDD holds the record id(s) that produced it, and recomputation fetches the
 rows back by id.
+
+**Bounded growth.** A long-running ingest loop appends forever; retaining
+every record would leak without bound. :meth:`truncate_through` drops the
+prefix of the log up to a record id. Replay of *still-live* versions stays
+correct regardless: each version's ``AppendRDD`` holds its own driver-side
+copy of the rows that produced it (the ``ParallelCollectionRDD`` source),
+so truncation only limits how far back :meth:`get` / :meth:`records` can
+read — the safe point is anything at or below the record id of the oldest
+version still being served (the serving layer's retention watermark).
 """
 
 from __future__ import annotations
@@ -30,27 +39,71 @@ class AppendRecord:
 
 
 class ReplayLog:
-    """Ordered, replayable log of appended row batches."""
+    """Ordered, replayable log of appended row batches (truncatable prefix)."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[AppendRecord] = []
+        #: record id of the first *retained* record; everything below has
+        #: been truncated away (compaction).
+        self._base = 0
 
     def append(self, version: int, rows: Iterable[tuple]) -> AppendRecord:
         with self._lock:
             rec = AppendRecord(
-                record_id=len(self._records), version=version, rows=tuple(rows)
+                record_id=self._base + len(self._records),
+                version=version,
+                rows=tuple(rows),
             )
             self._records.append(rec)
             return rec
 
     def get(self, record_id: int) -> AppendRecord:
         with self._lock:
-            return self._records[record_id]
+            if record_id < self._base:
+                raise KeyError(
+                    f"record {record_id} was truncated (first retained: {self._base})"
+                )
+            return self._records[record_id - self._base]
 
     def records(self) -> list[AppendRecord]:
+        """All *retained* records, oldest first."""
         with self._lock:
             return list(self._records)
+
+    def truncate_through(self, record_id: int) -> int:
+        """Drop every record with id <= ``record_id``; returns rows freed.
+
+        Callers must only truncate below their retention watermark (the
+        oldest version still live); records above it stay replayable.
+        Truncating past the tail is allowed and empties the log.
+        """
+        with self._lock:
+            keep_from = record_id + 1
+            if keep_from <= self._base:
+                return 0
+            drop = min(keep_from - self._base, len(self._records))
+            freed = sum(len(r.rows) for r in self._records[:drop])
+            del self._records[:drop]
+            self._base += drop
+            return freed
+
+    @property
+    def first_retained_id(self) -> int:
+        """Record id of the oldest retained record (== next id when empty)."""
+        with self._lock:
+            return self._base
+
+    @property
+    def last_record_id(self) -> int:
+        """Id of the newest record ever appended (-1 when none ever was)."""
+        with self._lock:
+            return self._base + len(self._records) - 1
+
+    def retained_rows(self) -> int:
+        """Total rows across retained records (the log's live footprint)."""
+        with self._lock:
+            return sum(len(r.rows) for r in self._records)
 
     def __len__(self) -> int:
         with self._lock:

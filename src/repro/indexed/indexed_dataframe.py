@@ -125,6 +125,19 @@ class IndexedDataFrame:
         )
         return results[0]
 
+    def materialize_partitions(self) -> list[Any]:
+        """Compute (or fetch from cache) every partition and return the
+        actual in-process :class:`IndexedPartition` objects, ordered by split.
+
+        The serving layer's snapshot pin: blocks live in executor block
+        managers *in this process*, so the returned objects are the real
+        cached partitions. Holding them keeps the version's cTrie snapshot
+        and row batches alive even if the block store later evicts them —
+        and because this goes through ``run_job``, a partition lost to an
+        executor failure is rebuilt from lineage before being returned.
+        """
+        return self.session.context.run_job(self.rdd, lambda it, _ctx: next(iter(it)))
+
     # -- appends (MVCC) ---------------------------------------------------------------------
 
     def append_rows(self, rows: "DataFrame | Sequence[tuple]") -> "IndexedDataFrame":

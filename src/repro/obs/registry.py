@@ -17,7 +17,7 @@ Metric naming follows the Prometheus conventions the ecosystem expects:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 MetricKey = tuple[str, tuple[tuple[str, Any], ...]]
@@ -35,23 +35,63 @@ def _fmt(key: MetricKey) -> str:
     return f"{name}{{{inner}}}"
 
 
+#: Ring-buffer capacity for per-series quantile samples. Bounded so a
+#: long-serving process cannot grow without limit; at 4096 recent samples
+#: the p99 of a steady-state latency series is estimated from the last
+#: ~4k observations (a sliding window, which is what a serving dashboard
+#: wants anyway).
+SAMPLE_WINDOW = 4096
+
+
 @dataclass
 class HistogramData:
-    """Streaming summary of one histogram series (no buckets: the consumers
-    here want count/sum/extremes, not quantile sketches)."""
+    """Streaming summary of one histogram series.
+
+    Tracks count/sum/extremes exactly, plus a bounded ring buffer of the
+    most recent observations for quantile estimates (p50/p95/p99 — the
+    serving layer's latency SLOs)."""
 
     count: int = 0
     sum: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    samples: list = field(default_factory=list, repr=False)
 
     def observe(self, value: float) -> None:
+        if len(self.samples) < SAMPLE_WINDOW:
+            self.samples.append(value)
+        else:
+            self.samples[self.count % SAMPLE_WINDOW] = value
         self.count += 1
         self.sum += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the sample
+        window; 0.0 when the series has never been observed."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+        if q <= 0:
+            rank = 0
+        return ordered[rank]
+
+    def percentiles(self, qs: "tuple[float, ...]" = (50.0, 95.0, 99.0)) -> dict[str, float]:
+        ordered = sorted(self.samples)
+        out: dict[str, float] = {}
+        for q in qs:
+            if not ordered:
+                out[f"p{q:g}"] = 0.0
+                continue
+            rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+            if q <= 0:
+                rank = 0
+            out[f"p{q:g}"] = ordered[rank]
+        return out
 
     @property
     def mean(self) -> float:
@@ -138,6 +178,15 @@ class MetricsRegistry:
         with self._lock:
             hist = self._histograms.get(_key(name, labels))
             return hist.as_dict() if hist is not None else HistogramData().as_dict()
+
+    def histogram_percentiles(
+        self, name: str, qs: "tuple[float, ...]" = (50.0, 95.0, 99.0), **labels: Any
+    ) -> dict[str, float]:
+        """p50/p95/p99-style quantiles of one histogram series (sliding
+        window of the most recent observations); zeros when unobserved."""
+        with self._lock:
+            hist = self._histograms.get(_key(name, labels))
+            return hist.percentiles(qs) if hist is not None else HistogramData().percentiles(qs)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Flat, JSON-able dump of every series (keys rendered Prometheus-style)."""

@@ -44,9 +44,10 @@ from typing import Any
 #: checker enforces these, which is what "every task span nests under
 #: exactly one stage span" means mechanically.
 SPAN_NESTING: dict[str, tuple[str | None, ...]] = {
-    "query": (None, "phase", "query"),
-    "phase": (None, "query", "phase"),
-    "job": (None, "query", "phase"),
+    "serve": (None, "serve"),
+    "query": (None, "phase", "query", "serve"),
+    "phase": (None, "query", "phase", "serve"),
+    "job": (None, "query", "phase", "serve"),
     "stage": ("job",),
     "task": ("stage",),
     "operator": ("task", "operator"),

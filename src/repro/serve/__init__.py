@@ -1,0 +1,39 @@
+"""Query-serving subsystem (DESIGN.md §11).
+
+Everything below this package turns the engine from a batch driver into a
+multi-tenant query *service*:
+
+* :class:`~repro.serve.server.QueryServer` — bounded worker pool, admission
+  queue, per-query deadlines, and load shedding (retryable rejections when
+  the queue or the memory manager is under pressure);
+* :class:`~repro.serve.snapshot.PinnedSnapshot` — a pinned MVCC version of
+  an Indexed DataFrame whose partitions are held in-process, so point
+  lookups can be served on the server thread without scheduling a job;
+* :mod:`~repro.serve.fastpath` — recognizes single-key equality queries on
+  indexed relations and compiles them to pinned-snapshot lookups;
+* :class:`~repro.serve.ingest.IngestLoop` — concurrent MVCC appends through
+  the ReplayLog while readers keep serving from pinned versions, with
+  atomic publish and replay-log truncation behind a retention window.
+"""
+
+from repro.serve.fastpath import FastPathTemplate, recognize
+from repro.serve.ingest import IngestLoop
+from repro.serve.server import (
+    QueryResult,
+    QueryServer,
+    ServeConfig,
+    ServeRejected,
+)
+from repro.serve.snapshot import PinnedSnapshot, SnapshotValidationError
+
+__all__ = [
+    "FastPathTemplate",
+    "IngestLoop",
+    "PinnedSnapshot",
+    "QueryResult",
+    "QueryServer",
+    "ServeConfig",
+    "ServeRejected",
+    "SnapshotValidationError",
+    "recognize",
+]

@@ -1,0 +1,193 @@
+"""Snapshot-pinned point-lookup fast path.
+
+The serving workload the paper motivates (Section V's point queries) has a
+very recognizable shape::
+
+    SELECT [cols] FROM indexed_view WHERE key = ?|literal [AND residual...]
+    [LIMIT n]
+
+The general pipeline answers it correctly — planner strategy
+``indexed_strategy`` turns it into an ``IndexedLookupExec`` job — but still
+pays job submission, stage scheduling and the context-wide ``job_lock``
+per query. :func:`recognize` compiles the shape into a
+:class:`FastPathTemplate` instead, which executes *on the server thread*
+against a :class:`~repro.serve.snapshot.PinnedSnapshot`: hash the key,
+search the partition's cTrie, apply residual/projection/limit. No job, no
+stages, no lock.
+
+Anything that doesn't match — joins, aggregates, non-equality key
+predicates, computed projections, non-indexed relations — returns ``None``
+and falls back to the full planner, exactly like the planner strategies
+themselves fall back ("default Spark behavior", Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.indexed.rules import IndexedRelation, extract_lookup_keys
+from repro.sql.analysis import AnalysisError, resolve_expression
+from repro.sql.expressions import (
+    BinaryOp,
+    Column,
+    Expression,
+    In,
+    Literal,
+    Parameter,
+    split_conjuncts,
+)
+from repro.sql.logical import Filter, Limit, LogicalPlan, Project
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.snapshot import PinnedSnapshot
+    from repro.sql.catalog import Catalog
+
+
+def _constrains_key(condition: Expression, key_column: str) -> bool:
+    """True when some conjunct pins the key by equality: ``key = lit|?`` or
+    ``key IN (lits|?s)`` — the same shapes ``extract_lookup_keys`` claims,
+    extended to unbound parameters (a template is recognized once, before
+    any values are bound)."""
+    bindable = (Literal, Parameter)
+    for conj in split_conjuncts(condition):
+        if isinstance(conj, BinaryOp) and conj.op == "=":
+            a, b = conj.left, conj.right
+            if isinstance(a, Column) and a.name == key_column and isinstance(b, bindable):
+                return True
+            if isinstance(b, Column) and b.name == key_column and isinstance(a, bindable):
+                return True
+        elif (
+            isinstance(conj, In)
+            and isinstance(conj.child, Column)
+            and conj.child.name == key_column
+            and all(isinstance(v, bindable) for v in conj.values)
+        ):
+            return True
+    return False
+
+
+class FastPathTemplate:
+    """A compiled point-lookup: everything needed to answer the query from
+    a pinned snapshot, with only parameter values left open."""
+
+    __slots__ = ("condition", "key_column", "limit", "num_params", "projection", "view")
+
+    def __init__(
+        self,
+        view: str,
+        key_column: str,
+        condition: Expression,
+        projection: "tuple[int, ...] | None",
+        limit: "int | None",
+        num_params: int,
+    ) -> None:
+        self.view = view
+        self.key_column = key_column
+        #: Filter condition with every Column bound to its ordinal; may
+        #: still contain :class:`Parameter` placeholders.
+        self.condition = condition
+        #: Output column ordinals into the relation schema (None = all).
+        self.projection = projection
+        self.limit = limit
+        self.num_params = num_params
+
+    def execute(
+        self, snapshot: "PinnedSnapshot", params: "Iterable[Any] | None" = None
+    ) -> list[tuple]:
+        """Answer the query from ``snapshot`` on the calling thread."""
+        condition = self.condition
+        values = list(params) if params is not None else []
+        if len(values) != self.num_params:
+            raise ValueError(
+                f"statement takes {self.num_params} parameter(s), got {len(values)}"
+            )
+        if values:
+
+            def substitute(e: Expression) -> "Expression | None":
+                if isinstance(e, Parameter):
+                    return Literal(values[e.index])
+                return None
+
+            condition = condition.transform(substitute)
+        keys, residual = extract_lookup_keys(condition, self.key_column)
+        if keys is None:  # pragma: no cover - recognize() guarantees a key conjunct
+            raise RuntimeError("fast-path template lost its key constraint")
+        rows: list[tuple] = []
+        for key in keys:
+            rows.extend(snapshot.lookup(key))
+        if residual is not None:
+            rows = [r for r in rows if residual.eval(r)]
+        if self.projection is not None:
+            ords = self.projection
+            rows = [tuple(r[i] for i in ords) for r in rows]
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FastPathTemplate({self.view}, key={self.key_column}, "
+            f"params={self.num_params})"
+        )
+
+
+def recognize(
+    logical: LogicalPlan,
+    catalog: "Catalog",
+    served_views: Iterable[str],
+) -> "FastPathTemplate | None":
+    """Compile ``logical`` to a fast-path template, or None (fall back).
+
+    Peels, outermost first: an optional ``Limit``, an optional all-plain-
+    column ``Project``, then requires ``Filter(cond, IndexedRelation)``
+    where the relation is the *currently registered* plan of one of
+    ``served_views`` (identity match against the catalog, so a template
+    can never be built against a leaf the catalog no longer names) and
+    ``cond`` pins the index key by equality.
+    """
+    limit: "int | None" = None
+    plan = logical
+    if isinstance(plan, Limit):
+        limit, plan = plan.n, plan.child
+    projected: "list[str] | None" = None
+    if isinstance(plan, Project):
+        projected = []
+        for e in plan.exprs:
+            if not isinstance(e, Column):
+                return None
+            projected.append(e.name)
+        plan = plan.child
+    if not isinstance(plan, Filter) or not isinstance(plan.child, IndexedRelation):
+        return None
+    relation = plan.child
+    view = None
+    for name in served_views:
+        try:
+            if catalog.lookup(name) is relation:
+                view = name
+                break
+        except KeyError:
+            continue
+    if view is None:
+        return None
+    key_column = relation.idf.key_column
+    if not _constrains_key(plan.condition, key_column):
+        return None
+    schema = relation.schema
+    try:
+        condition = resolve_expression(plan.condition, schema)
+        projection = (
+            tuple(schema.index_of(n) for n in projected) if projected is not None else None
+        )
+    except (AnalysisError, KeyError):
+        return None
+    counter = [0]
+    _count_params(plan.condition, counter)
+    return FastPathTemplate(view, key_column, condition, projection, limit, counter[0])
+
+
+def _count_params(expr: Expression, counter: list) -> None:
+    if isinstance(expr, Parameter):
+        counter[0] = max(counter[0], expr.index + 1)
+    for child in expr.children():
+        _count_params(child, counter)

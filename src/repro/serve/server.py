@@ -1,0 +1,344 @@
+"""QueryServer: admission-controlled, multi-tenant query service.
+
+One :class:`QueryServer` wraps one :class:`~repro.sql.session.Session` and
+turns it into a service: clients :meth:`submit` SQL (optionally with bind
+parameters) and get a :class:`QueryTicket` future; a bounded pool of worker
+threads executes admitted queries; admission control sheds load *before*
+work starts. The contract the chaos tests enforce: the server may reject
+(retryably) but never returns a wrong answer.
+
+Admission control rejects, in order:
+
+* ``shutdown`` — the server is closing (not retryable, find another server);
+* ``chaos`` — injected rejection (``Config.chaos_serve_rejection_prob``),
+  exercising client retry loops deterministically;
+* ``memory_pressure`` — the worst executor block store is at/above
+  ``ServeConfig.shed_memory_fraction`` of its budget (backpressure before
+  the query runs, complementing the task-level
+  :class:`~repro.engine.memory_manager.MemoryPressureError` retries that
+  protect queries already running);
+* ``queue_full`` — the admission queue is at ``max_queue_depth``;
+* ``deadline`` — the query waited in the queue past its deadline (shed
+  stale work instead of burning a worker on an answer nobody awaits).
+
+Execution picks the cheapest applicable path per query:
+
+* **fast path** — :mod:`repro.serve.fastpath` recognized a single-key
+  equality lookup on a published view: served on the worker thread from
+  the :class:`~repro.serve.snapshot.PinnedSnapshot`, no job, no stages,
+  no ``job_lock``;
+* **general** — everything else goes through the (plan-cached) session
+  pipeline; ``run_job`` serializes on the context's ``job_lock``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.engine.memory_manager import MemoryPressureError
+from repro.serve.fastpath import FastPathTemplate, recognize
+from repro.serve.snapshot import PinnedSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.indexed.indexed_dataframe import IndexedDataFrame
+    from repro.sql.session import Session
+
+
+class ServeRejected(RuntimeError):
+    """Admission control refused the query.
+
+    ``retryable`` rejections mean "back off and resend"; only ``shutdown``
+    is final. Rejections are the server's *only* degraded mode — it sheds
+    load rather than degrade answers.
+    """
+
+    def __init__(self, reason: str, detail: str = "", retryable: bool = True) -> None:
+        message = f"query rejected ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.reason = reason
+        self.retryable = retryable
+
+
+@dataclass
+class ServeConfig:
+    """Serving-layer tunables (engine tunables stay on :class:`Config`)."""
+
+    #: Worker threads executing admitted queries.
+    num_workers: int = 4
+    #: Admitted-but-not-started queries allowed before ``queue_full``.
+    max_queue_depth: int = 64
+    #: Seconds a query may spend queued before it is shed (per-query
+    #: override via ``submit(deadline=...)``).
+    default_deadline: float = 30.0
+    #: Shed new queries when memory pressure (worst executor's
+    #: used/budget) reaches this fraction.
+    shed_memory_fraction: float = 0.95
+    #: Disable to force every query through the general pipeline (the
+    #: benchmark's ablation knob).
+    enable_fastpath: bool = True
+    #: Test hook: replaces ``EngineContext.memory_pressure`` as the
+    #: admission-control pressure signal.
+    pressure_probe: "Callable[[], float] | None" = None
+
+
+@dataclass
+class QueryResult:
+    """One answered query."""
+
+    rows: list[tuple]
+    #: "fastpath" | "general"
+    path: str
+    #: MVCC version served (fast path; None when the general pipeline ran).
+    snapshot_version: "int | None"
+    queued_seconds: float
+    total_seconds: float
+
+
+class QueryTicket:
+    """Future for one admitted query."""
+
+    def __init__(self, text: str, params: "Sequence[Any] | None", deadline: float) -> None:
+        self.text = text
+        self.params = params
+        self.deadline = deadline
+        self.enqueued_at = time.perf_counter()
+        self._done = threading.Event()
+        self._result: "QueryResult | None" = None
+        self._error: "BaseException | None" = None
+
+    def _complete(self, result: QueryResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: "float | None" = None) -> QueryResult:
+        """Block for the answer; re-raises rejections and query errors."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"query still running after {timeout}s: {self.text!r}")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+_STOP = object()
+#: ``CachedPlan.fast_path`` value meaning "recognition ran and said no" —
+#: distinct from None ("never tried").
+_NO_FAST_PATH = object()
+
+
+class QueryServer:
+    """The serving front end over one session (see module docstring)."""
+
+    def __init__(self, session: "Session", config: "ServeConfig | None" = None) -> None:
+        self.session = session
+        self.context = session.context
+        self.config = config or ServeConfig()
+        self.registry = self.context.registry
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._pins: dict[str, PinnedSnapshot] = {}
+        self._pins_lock = threading.Lock()
+        self._admissions = itertools.count()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
+            for i in range(max(1, self.config.num_workers))
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- publishing (the ingest side) ---------------------------------------------
+
+    def publish(self, view: str, idf: "IndexedDataFrame") -> PinnedSnapshot:
+        """Pin ``idf`` and atomically make it the served version of ``view``.
+
+        Order matters: the pin job runs *first* (outside the swap lock —
+        it may rebuild partitions from lineage), then catalog registration
+        and the pin swap happen together, so a query that parses against
+        the new catalog epoch can never be served an older pin. Readers of
+        the previous pin are unaffected — they hold the partition objects
+        of their version (MVCC).
+        """
+        pin = PinnedSnapshot.pin(idf)
+        with self._pins_lock:
+            idf.create_or_replace_temp_view(view)
+            self._pins[view] = pin
+        self.registry.set_gauge("serve_pinned_version", float(pin.version), view=view)
+        return pin
+
+    def pinned(self, view: str) -> PinnedSnapshot:
+        """The currently served snapshot of ``view``."""
+        with self._pins_lock:
+            return self._pins[view]
+
+    def views(self) -> list[str]:
+        with self._pins_lock:
+            return sorted(self._pins)
+
+    # -- client surface ------------------------------------------------------------
+
+    def submit(
+        self,
+        text: str,
+        params: "Sequence[Any] | None" = None,
+        deadline: "float | None" = None,
+    ) -> QueryTicket:
+        """Admit a query (or raise :class:`ServeRejected` immediately)."""
+        if self._closed:
+            raise self._reject("shutdown", retryable=False)
+        if self.context.faults.on_serve(next(self._admissions)):
+            raise self._reject("chaos")
+        pressure = self._pressure()
+        if pressure >= self.config.shed_memory_fraction:
+            raise self._reject("memory_pressure", f"pressure={pressure:.2f}")
+        if self._queue.qsize() >= self.config.max_queue_depth:
+            raise self._reject("queue_full", f"depth={self._queue.qsize()}")
+        ticket = QueryTicket(
+            text, params, deadline if deadline is not None else self.config.default_deadline
+        )
+        self._queue.put(ticket)
+        self.registry.set_gauge("serve_queue_depth", float(self._queue.qsize()))
+        return ticket
+
+    def query(
+        self,
+        text: str,
+        params: "Sequence[Any] | None" = None,
+        deadline: "float | None" = None,
+        timeout: "float | None" = 60.0,
+    ) -> QueryResult:
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(text, params, deadline).result(timeout)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting queries; finish (``drain=True``) or reject
+        (``drain=False``) the ones already queued; join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, QueryTicket):
+                    item._fail(self._reject("shutdown", retryable=False))
+                self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for w in self._workers:
+            w.join(timeout=30.0)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _pressure(self) -> float:
+        probe = self.config.pressure_probe
+        return probe() if probe is not None else self.context.memory_pressure()
+
+    def _reject(self, reason: str, detail: str = "", retryable: bool = True) -> ServeRejected:
+        self.registry.inc("serve_rejections_total", reason=reason)
+        return ServeRejected(reason, detail, retryable=retryable)
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self.registry.set_gauge("serve_queue_depth", float(self._queue.qsize()))
+                self._run(item)
+            finally:
+                self._queue.task_done()
+
+    def _run(self, ticket: QueryTicket) -> None:
+        queued = time.perf_counter() - ticket.enqueued_at
+        if queued > ticket.deadline:
+            ticket._fail(self._reject("deadline", f"queued {queued:.3f}s"))
+            return
+        span = self.context.tracer.start_span("serve", kind="serve", text=ticket.text)
+        try:
+            with span:
+                result = self._execute(ticket, queued)
+                span.set_attr("path", result.path)
+            ticket._complete(result)
+            self.registry.inc("serve_queries_total", path=result.path)
+            self.registry.observe(
+                "serve_latency_seconds", result.total_seconds, path=result.path
+            )
+        except MemoryPressureError as exc:
+            # The memory manager spilled and evicted and still could not
+            # make room: surface as backpressure, never a failed query.
+            ticket._fail(self._reject("memory_pressure", str(exc)))
+        except ServeRejected as exc:
+            ticket._fail(exc)
+        except BaseException as exc:  # planner/executor errors belong to the client
+            ticket._fail(exc)
+
+    def _execute(self, ticket: QueryTicket, queued: float) -> QueryResult:
+        session = self.session
+        if ticket.params is not None:
+            statement = session.prepare(ticket.text)
+            logical = statement.template
+        else:
+            statement = None
+            logical = session.sql_logical(ticket.text)
+        template = self._fast_path_for(logical)
+        if template is not None:
+            pin = self._pins.get(template.view)
+            if pin is not None:
+                rows = template.execute(pin, ticket.params)
+                total = time.perf_counter() - ticket.enqueued_at
+                return QueryResult(rows, "fastpath", pin.version, queued, total)
+        if statement is not None:
+            rows = statement.execute(ticket.params)
+        else:
+            rows = session.execute(logical)
+        total = time.perf_counter() - ticket.enqueued_at
+        return QueryResult(rows, "general", None, queued, total)
+
+    def _fast_path_for(self, logical: Any) -> "FastPathTemplate | None":
+        """The (memoized) fast-path template for a logical plan, if any.
+
+        Recognition results ride on the plan-cache entry (both positive
+        and negative), so they share its epoch invalidation: republishing
+        a view bumps the catalog epoch, evicts the entry, and the next
+        query re-recognizes against the new leaf.
+        """
+        if not self.config.enable_fastpath:
+            return None
+        entry = self.session.plan_cache.entry_for_logical(logical)
+        if entry is not None and entry.fast_path is not None:
+            return None if entry.fast_path is _NO_FAST_PATH else entry.fast_path
+        with self._pins_lock:
+            views = list(self._pins)
+        template = recognize(logical, self.session.catalog, views)
+        if entry is not None:
+            entry.fast_path = template if template is not None else _NO_FAST_PATH
+        return template
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"QueryServer(workers={len(self._workers)}, views={self.views()}, "
+            f"closed={self._closed})"
+        )

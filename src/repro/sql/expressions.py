@@ -136,6 +136,34 @@ def _to_expr(value: Any) -> Expression:
     return value if isinstance(value, Expression) else Literal(value)
 
 
+class Parameter(Expression):
+    """A bind parameter (``?``) in a prepared statement (DESIGN.md §11).
+
+    Parameters exist only inside an unbound statement *template*: binding
+    (:func:`repro.sql.prepared.bind_parameters`) substitutes a
+    :class:`Literal` for every Parameter before the plan reaches the
+    analyzer, so no downstream layer ever evaluates one.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def eval(self, row: tuple) -> Any:
+        raise RuntimeError(f"unbound parameter ?{self.index} (bind before executing)")
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        raise RuntimeError(f"unbound parameter ?{self.index} (bind before executing)")
+
+    def data_type(self, schema: Schema) -> DataType:
+        raise RuntimeError(f"unbound parameter ?{self.index} has no type until bound")
+
+    def output_name(self) -> str:
+        return f"?{self.index}"
+
+    def __repr__(self) -> str:
+        return f"?{self.index}"
+
+
 class Column(Expression):
     """A column reference; ``ordinal`` is filled in by the Analyzer."""
 

@@ -41,6 +41,15 @@ class LogicalPlan:
         replaced = fn(node)
         return replaced if replaced is not None else node
 
+    def map_expressions(
+        self, fn: Callable[[Expression], Expression]
+    ) -> "LogicalPlan":
+        """Rebuild the plan with ``fn`` applied to every expression it holds
+        (recursing into children). Leaves and expression-free nodes return
+        themselves. Used by prepared statements to substitute ``?`` bind
+        parameters without mutating the shared template."""
+        return self.with_children([k.map_expressions(fn) for k in self.children()])
+
     def tree_string(self, indent: int = 0) -> str:
         line = "  " * indent + repr(self)
         return "\n".join([line] + [c.tree_string(indent + 1) for c in self.children()])
@@ -100,6 +109,9 @@ class Project(LogicalPlan):
     def with_children(self, children: list[LogicalPlan]) -> "Project":
         return Project(self.exprs, children[0])
 
+    def map_expressions(self, fn: Callable[[Expression], Expression]) -> "Project":
+        return Project([fn(e) for e in self.exprs], self.child.map_expressions(fn))
+
     @property
     def schema(self) -> Schema:
         child_schema = self.child.schema
@@ -121,6 +133,9 @@ class Filter(LogicalPlan):
 
     def with_children(self, children: list[LogicalPlan]) -> "Filter":
         return Filter(self.condition, children[0])
+
+    def map_expressions(self, fn: Callable[[Expression], Expression]) -> "Filter":
+        return Filter(fn(self.condition), self.child.map_expressions(fn))
 
     @property
     def schema(self) -> Schema:
@@ -161,6 +176,16 @@ class Join(LogicalPlan):
             children[0], children[1], self.left_keys, self.right_keys, self.how, self.residual
         )
 
+    def map_expressions(self, fn: Callable[[Expression], Expression]) -> "Join":
+        return Join(
+            self.left.map_expressions(fn),
+            self.right.map_expressions(fn),
+            [fn(e) for e in self.left_keys],
+            [fn(e) for e in self.right_keys],
+            self.how,
+            fn(self.residual) if self.residual is not None else None,
+        )
+
     @property
     def schema(self) -> Schema:
         return self.left.schema.concat(self.right.schema)
@@ -190,6 +215,13 @@ class Aggregate(LogicalPlan):
     def with_children(self, children: list[LogicalPlan]) -> "Aggregate":
         return Aggregate(self.group_exprs, self.agg_exprs, children[0])
 
+    def map_expressions(self, fn: Callable[[Expression], Expression]) -> "Aggregate":
+        return Aggregate(
+            [fn(e) for e in self.group_exprs],
+            [fn(e) for e in self.agg_exprs],
+            self.child.map_expressions(fn),
+        )
+
     @property
     def schema(self) -> Schema:
         cs = self.child.schema
@@ -214,6 +246,9 @@ class Sort(LogicalPlan):
 
     def with_children(self, children: list[LogicalPlan]) -> "Sort":
         return Sort(self.keys, children[0])
+
+    def map_expressions(self, fn: Callable[[Expression], Expression]) -> "Sort":
+        return Sort([(fn(e), asc) for e, asc in self.keys], self.child.map_expressions(fn))
 
     @property
     def schema(self) -> Schema:

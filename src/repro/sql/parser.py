@@ -33,6 +33,7 @@ from repro.sql.expressions import (
     Min,
     Not,
     Or,
+    Parameter,
     Sum,
     split_conjuncts,
 )
@@ -57,7 +58,7 @@ _TOKEN_RE = re.compile(
   | (?P<number>\d+\.\d+|\d+)
   | (?P<string>'(?:[^']|'')*')
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
-  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.)
+  | (?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|%|\(|\)|,|\.|\?)
     """,
     re.VERBOSE,
 )
@@ -92,10 +93,12 @@ def tokenize(text: str) -> list[tuple[str, str]]:
 
 
 class _Parser:
-    def __init__(self, text: str, catalog: Catalog) -> None:
+    def __init__(self, text: str, catalog: Catalog, allow_params: bool = False) -> None:
         self.tokens = tokenize(text)
         self.pos = 0
         self.catalog = catalog
+        self.allow_params = allow_params
+        self.num_params = 0
 
     # -- token helpers ------------------------------------------------------------
 
@@ -321,6 +324,15 @@ class _Parser:
 
     def parse_primary(self) -> Expression:
         k, v = self.next()
+        if k == "op" and v == "?":
+            if not self.allow_params:
+                raise SQLParseError(
+                    "bind parameter '?' is only valid in a prepared statement "
+                    "(use session.prepare(...))"
+                )
+            param = Parameter(self.num_params)
+            self.num_params += 1
+            return param
         if k == "number":
             return Literal(float(v) if "." in v else int(v))
         if k == "string":
@@ -355,3 +367,15 @@ class _Parser:
 def parse_query(text: str, catalog: Catalog) -> LogicalPlan:
     """Parse ``text`` into an (unresolved) logical plan."""
     return _Parser(text, catalog).parse_query()
+
+
+def parse_prepared(text: str, catalog: Catalog) -> tuple[LogicalPlan, int]:
+    """Parse a statement that may contain ``?`` bind parameters.
+
+    Returns the (unresolved, unbound) logical template plus the number of
+    parameters; :func:`repro.sql.prepared.bind_parameters` turns the
+    template into an executable plan.
+    """
+    parser = _Parser(text, catalog, allow_params=True)
+    plan = parser.parse_query()
+    return plan, parser.num_params

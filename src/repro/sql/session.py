@@ -27,7 +27,9 @@ from repro.sql.catalog import Catalog
 from repro.sql.logical import LogicalPlan, Relation
 from repro.sql.optimizer import Optimizer, Rule
 from repro.sql.physical import PhysicalPlan
+from repro.sql.plan_cache import CachedPlan, PlanCache, normalize_sql
 from repro.sql.planner import Planner, Strategy
+from repro.sql.prepared import PreparedStatement
 from repro.sql.types import Schema
 from repro.utils.timing import PhaseTimer
 
@@ -44,6 +46,15 @@ class Session:
         #: PhysicalPlan.execute wraps every operator's output RDD so actual
         #: row counts / wall time are recorded per plan node.
         self.exec_meter: ExecutionMeter | None = None
+        #: Normalized-SQL -> plan cache (DESIGN.md §11): identical query
+        #: text reuses the parsed logical plan immediately and, after the
+        #: first run, the planned physical plan too. Invalidated by catalog
+        #: epoch (any register/drop, incl. publishing a new indexed
+        #: version). Capacity 0 disables it.
+        self.plan_cache = PlanCache(
+            capacity=self.context.config.plan_cache_capacity,
+            registry=self.context.registry,
+        )
 
     # -- DataFrame construction ------------------------------------------------
 
@@ -66,16 +77,63 @@ class Session:
         return DataFrame(self, self.catalog.lookup(name))
 
     def sql(self, text: str) -> "DataFrame":
-        """Parse and plan a SQL query against registered temp views."""
+        """Parse and plan a SQL query against registered temp views.
+
+        Identical query text (modulo case/whitespace outside strings) hits
+        the plan cache: the parsed logical plan is reused as long as the
+        catalog has not changed since it was built.
+        """
         from repro.sql.dataframe import DataFrame
+
+        return DataFrame(self, self.sql_logical(text))
+
+    def sql_logical(self, text: str) -> LogicalPlan:
+        """The (possibly cached) logical plan for a SQL string."""
         from repro.sql.parser import parse_query
 
-        return DataFrame(self, parse_query(text, self.catalog))
+        norm = normalize_sql(text)
+        epoch = self.catalog.epoch
+        entry = self.plan_cache.lookup(norm, epoch)
+        if entry is None:
+            entry = self.plan_cache.store(
+                CachedPlan(norm, epoch, parse_query(text, self.catalog))
+            )
+        return entry.logical
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """PREPARE: parse a statement with ``?`` bind parameters once.
+
+        The returned statement binds values per :meth:`PreparedStatement.execute`
+        call; the parse is cached per normalized text + catalog epoch.
+        """
+        from repro.sql.parser import parse_prepared
+
+        norm = "prepare::" + normalize_sql(text)
+        epoch = self.catalog.epoch
+        entry = self.plan_cache.lookup(norm, epoch)
+        if entry is None:
+            template, num_params = parse_prepared(text, self.catalog)
+            entry = self.plan_cache.store(CachedPlan(norm, epoch, template, num_params))
+        return PreparedStatement(self, text, entry.logical, entry.num_params)
 
     # -- the query pipeline (Fig. 2) ---------------------------------------------
 
     def plan_physical(self, logical: LogicalPlan) -> PhysicalPlan:
-        """Analyze -> optimize -> re-analyze -> plan, each under a phase span."""
+        """Analyze -> optimize -> re-analyze -> plan, each under a phase span.
+
+        When ``logical`` came out of the plan cache (``session.sql`` with
+        repeated text) and the catalog is unchanged, the previously planned
+        physical plan is returned outright — analyze/optimize/plan all
+        skipped. Physical plans are re-executable (``execute()`` builds a
+        fresh RDD per call), so reuse is safe.
+        """
+        entry = self.plan_cache.entry_for_logical(logical)
+        if (
+            entry is not None
+            and entry.physical is not None
+            and entry.epoch == self.catalog.epoch
+        ):
+            return entry.physical
         tracer = self.context.tracer
         with tracer.start_span("analyze", kind="phase"):
             analyzed = self.analyzer.analyze(logical)
@@ -83,7 +141,10 @@ class Session:
             optimized = Optimizer(self.extra_rules).optimize(analyzed)
             reanalyzed = self.analyzer.analyze(optimized)
         with tracer.start_span("plan", kind="phase"):
-            return Planner(self).plan(reanalyzed)
+            physical = Planner(self).plan(reanalyzed)
+        if entry is not None and entry.epoch == self.catalog.epoch:
+            entry.physical = physical
+        return physical
 
     def execute(self, logical: LogicalPlan) -> list[tuple]:
         with self.context.tracer.start_span("query", kind="query"):
@@ -117,9 +178,7 @@ class Session:
     def sql_explain(self, text: str, analyze: bool = False) -> str:
         """EXPLAIN [ANALYZE] for a SQL string: the physical plan as text,
         decorated with actual row counts and timings when ``analyze``."""
-        from repro.sql.parser import parse_query
-
-        logical = parse_query(text, self.catalog)
+        logical = self.sql_logical(text)
         if analyze:
             return self.execute_analyzed(logical).text()
         return self.plan_physical(logical).tree_string()

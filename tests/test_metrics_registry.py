@@ -170,3 +170,38 @@ class TestEngineWiring:
         assert context.registry.counter_value("tasks_completed_total") > 0
         context.metrics.reset()
         assert context.registry.counter_value("tasks_completed_total") == 0
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_over_known_distribution(self):
+        registry = MetricsRegistry()
+        for v in range(1, 101):  # 1..100
+            registry.observe("latency", float(v))
+        pcts = registry.histogram_percentiles("latency")
+        assert pcts["p50"] == 50.0
+        assert pcts["p95"] == 95.0
+        assert pcts["p99"] == 99.0
+
+    def test_unobserved_series_returns_zeros(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_percentiles("nope") == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_sample_window_is_bounded_and_sliding(self):
+        from repro.obs.registry import SAMPLE_WINDOW, HistogramData
+
+        hist = HistogramData()
+        for v in range(SAMPLE_WINDOW + 500):
+            hist.observe(float(v))
+        assert len(hist.samples) == SAMPLE_WINDOW
+        assert hist.count == SAMPLE_WINDOW + 500
+        # Oldest observations were overwritten: the window holds recent values.
+        assert min(hist.samples) >= 500 - 1
+        assert hist.percentile(100.0) == float(SAMPLE_WINDOW + 499)
+
+    def test_custom_quantiles_and_labels(self):
+        registry = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat", v, path="fastpath")
+        out = registry.histogram_percentiles("lat", qs=(25.0, 100.0), path="fastpath")
+        assert out["p25"] == 1.0
+        assert out["p100"] == 4.0
