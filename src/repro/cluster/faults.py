@@ -98,6 +98,10 @@ class FaultInjector:
     #: incoming query (always a *retryable* rejection, never a wrong
     #: answer) — chaos for client retry loops. Keyed by query index.
     serve_rejection_prob: float = 0.0
+    #: Probability that one kernel dispatch ("processes" mode) SIGKILLs its
+    #: pool worker mid-request. Keyed by (stage, split, attempt) like task
+    #: chaos, so a seed kills the same logical dispatches every run.
+    proc_kill_prob: float = 0.0
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
@@ -130,6 +134,7 @@ class FaultInjector:
         memory_squeeze_prob: float | None = None,
         memory_squeeze_factor: float | None = None,
         serve_rejection_prob: float | None = None,
+        proc_kill_prob: float | None = None,
     ) -> None:
         with self._lock:
             if seed is not None:
@@ -148,6 +153,8 @@ class FaultInjector:
                 self.memory_squeeze_factor = memory_squeeze_factor
             if serve_rejection_prob is not None:
                 self.serve_rejection_prob = serve_rejection_prob
+            if proc_kill_prob is not None:
+                self.proc_kill_prob = proc_kill_prob
 
     # -- scheduled kills -----------------------------------------------------------
 
@@ -276,6 +283,18 @@ class FaultInjector:
             return False
         return _draw(self.seed, "serve", query_index) < self.serve_rejection_prob
 
+    def on_proc_dispatch(self, stage_id: int, split: int, attempt: int) -> bool:
+        """True when this kernel dispatch should SIGKILL its pool worker.
+
+        Drawn per (stage, split, attempt): the retry of a task whose
+        dispatch was killed draws fresh, so chaos stays transient and the
+        retry can succeed — "a killed worker process is just another
+        executor death".
+        """
+        if self.proc_kill_prob <= 0:
+            return False
+        return _draw(self.seed, "prockill", stage_id, split, attempt) < self.proc_kill_prob
+
     def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
         """True when this fetch should fail flakily (map output intact)."""
         if self.fetch_failure_prob <= 0:
@@ -302,3 +321,4 @@ class FaultInjector:
             self.straggler_prob = 0.0
             self.memory_squeeze_prob = 0.0
             self.serve_rejection_prob = 0.0
+            self.proc_kill_prob = 0.0

@@ -82,6 +82,7 @@ RECOVERY_EVENT_KINDS = (
     "fetch_failed",          # a reduce fetch found a map output missing
     "chaos_task_failure",    # injected transient task failure
     "chaos_fetch_failure",   # injected flaky fetch (map output intact)
+    "worker_process_crash",  # a kernel pool worker died mid-request (processes mode)
     "chaos_straggler",       # injected slow task
     "block_recomputed",      # a lost cached block was rebuilt from lineage
     "stale_partition_rebuilt",  # version guard refused a stale indexed copy

@@ -68,6 +68,7 @@ class EngineContext:
             memory_squeeze_prob=self.config.chaos_memory_squeeze_prob,
             memory_squeeze_factor=self.config.chaos_memory_squeeze_factor,
             serve_rejection_prob=self.config.chaos_serve_rejection_prob,
+            proc_kill_prob=self.config.chaos_proc_kill_prob,
         )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
@@ -248,6 +249,35 @@ class EngineContext:
                 if victim in self.executors and self.executors[victim].alive:
                     self.kill_executor(victim, reason="scheduled")
             return self.dag_scheduler.run_job(rdd, func, partitions, job_index=job)
+
+    # -- process executors ("processes" mode, DESIGN.md §13) ----------------------------
+
+    def shared_batches_enabled(self) -> bool:
+        """Should indexed partitions back their batches with shared memory?
+
+        ``Config.shared_batches``: "on" forces it, "off" forbids it, "auto"
+        follows the scheduler mode. Only the row format qualifies (columnar
+        partitions keep numpy chunks).
+        """
+        mode = self.config.shared_batches
+        if mode == "off" or self.config.index_storage_format != "row":
+            return False
+        return mode == "on" or self.config.scheduler_mode == "processes"
+
+    def proc_pool(self):
+        """The process-global kernel pool, or None outside "processes" mode.
+
+        Lazy: the first offloaded kernel pays the worker spawn; every later
+        context reuses the same workers (they hold no per-context state —
+        everything arrives via segment names and pipe requests).
+        """
+        if self.config.scheduler_mode != "processes":
+            return None
+        from repro.engine.proc_pool import get_pool
+
+        return get_pool(
+            self.config.proc_pool_workers, self.config.proc_result_shm_bytes
+        )
 
     # -- serving hooks ------------------------------------------------------------------
 

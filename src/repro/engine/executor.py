@@ -65,6 +65,7 @@ class ExecutorRuntime:
             attempt=attempt,
             job_index=job_index,
             executor=self.executor_id,
+            scheduler_mode=self.context.config.scheduler_mode,
         )
         ctx = TaskContext(
             stage_id=stage_id,
@@ -74,6 +75,7 @@ class ExecutorRuntime:
             job_index=job_index,
             tracer=tracer if span.enabled else None,
             task_span=span if span.enabled else None,
+            engine=self.context,
         )
         t0 = time.perf_counter()
         # ``with span`` also activates it on this thread, so operator spans

@@ -1,0 +1,333 @@
+"""Process pool for kernel offload: decode CPU time off the driver's GIL.
+
+The engine's tasks are closures over the RDD graph (and thus over the
+driver's locks and sockets) — they can never cross a process boundary. So
+``scheduler_mode="processes"`` does what real engines do (PySpark's worker
+protocol, Cylon's batch-at-a-time operators across ranks): the driver keeps
+orchestrating stages on its thread pool, and ships only the **CPU-bound
+decode kernels** — full-batch scans and backward-pointer chain walks — to
+worker processes as pickle-free descriptors over shared-memory row batches
+(:mod:`repro.indexed.shared_batches`).
+
+Dispatch protocol (one duplex pipe per worker, one request in flight):
+
+``("schema", fp, schema, max_row_size)``
+    Ship a schema once per worker; the worker builds and caches the
+    compiled :class:`~repro.indexed.row_codec.RowCodec` under ``fp``.
+``("scan", fp, [(segment, visible), ...])``
+    Decode every visible byte of the named segments with the batch kernel
+    (``decode_all``); the request is a few hundred bytes no matter how many
+    megabytes of rows it references.
+``("chains", fp, [(segment, visible), ...], [head_pointer, ...])``
+    Attach the position-aligned segments and run the chain kernel
+    (``decode_chain``) once per head pointer — the indexed-join probe path.
+    The cTrie probes themselves stay on the driver (they are pointer
+    chases, not CPU burn — the memory-level-parallelism framing of the
+    Cuckoo Trie paper), so only pointers travel.
+
+Replies are ``(status, payload, stats)``. Small results come back pickled
+through the pipe; results at or above ``result_shm_bytes`` are written to a
+fresh shared segment and only its name crosses the pipe (``status="shm"``),
+with the **driver** taking unlink responsibility after reading.
+
+Failure semantics: a dead worker (crash, OOM kill, chaos SIGKILL) surfaces
+as :class:`WorkerCrashed`; the pool respawns the slot and the caller maps
+the crash onto the executor-death path — lineage rebuild handles the rest,
+exactly as for any other executor loss.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import threading
+import traceback
+from multiprocessing import get_context, shared_memory
+from queue import Queue
+from typing import Any
+
+from repro.indexed.shared_batches import SegmentCache
+
+#: Prefix of worker-created result segments (driver unlinks after reading).
+RESULT_PREFIX = "repro-res-"
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker died mid-request; treat as an executor death."""
+
+
+def _worker_main(conn, result_shm_bytes: int) -> None:
+    """Worker loop: attach segments lazily, run decode kernels, reply.
+
+    Runs in a spawned process; everything it needs arrives through the
+    pipe or the segment names — it holds no driver state.
+    """
+    cache = SegmentCache()
+    codecs: dict[str, Any] = {}
+    while True:
+        try:
+            req = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = req[0]
+        if op == "stop":
+            break
+        try:
+            if op == "schema":
+                _, fp, schema, max_row_size = req
+                from repro.indexed.row_codec import RowCodec
+
+                codecs[fp] = RowCodec(schema, max_row_size=max_row_size)
+                conn.send(("ok", None, {"attaches": 0}))
+                continue
+            attaches_before = cache.attaches
+            if op == "scan":
+                _, fp, handles = req
+                decode_all = codecs[fp].decode_all
+                payload: Any = []
+                for name, visible in handles:
+                    payload.extend(decode_all(cache.view(name), visible))
+            elif op == "chains":
+                _, fp, handles, pointers = req
+                batches = [cache.batch(name, visible) for name, visible in handles]
+                decode_chain = codecs[fp].decode_chain
+                payload = [decode_chain(batches, p) for p in pointers]
+                # Drop the view slices now: anything still referencing the
+                # mappings at exit would make close_all()'s close() raise.
+                del batches
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            stats = {"attaches": cache.attaches - attaches_before}
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) >= result_shm_bytes:
+                # Large output: ship via a shared segment, name-only on the
+                # pipe. The create registers it with the tracker shared
+                # with the driver; the driver's unlink after reading
+                # unregisters it — and if this worker dies first, the
+                # tracker reaps the orphan at driver exit.
+                out = shared_memory.SharedMemory(
+                    name=f"{RESULT_PREFIX}{secrets.token_hex(8)}",
+                    create=True,
+                    size=len(blob),
+                )
+                out.buf[: len(blob)] = blob
+                name = out.name
+                out.close()
+                conn.send(("shm", (name, len(blob)), stats))
+            else:
+                conn.send(("ok", blob, stats))
+        except Exception:
+            conn.send(("err", traceback.format_exc(), {"attaches": 0}))
+    cache.close_all()
+
+
+def _ensure_child_import_path() -> None:
+    """Make sure spawned children can ``import repro``.
+
+    Spawn re-imports the module graph from scratch; if the driver was
+    launched with a sys.path hack instead of PYTHONPATH, children would
+    fail. Prepending the package root to PYTHONPATH covers both cases.
+    """
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "schemas")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: Schema fingerprints already shipped to this worker.
+        self.schemas: set[str] = set()
+
+
+class ProcessPool:
+    """Fixed set of kernel workers, one in-flight request per worker.
+
+    Driver threads check a worker out of the free queue, do one
+    send/recv round trip, and put it back — the recv blocks in C (GIL
+    released), which is exactly how the thread pool gains parallelism.
+    """
+
+    def __init__(self, num_workers: int, result_shm_bytes: int = 256 * 1024) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        _ensure_child_import_path()
+        # spawn, not fork: the driver is heavily threaded and fork would
+        # clone locks in unknown states.
+        self._ctx = get_context("spawn")
+        self.num_workers = num_workers
+        self.result_shm_bytes = result_shm_bytes
+        self._workers: list[_Worker] = []
+        self._free: "Queue[int]" = Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        for i in range(num_workers):
+            self._workers.append(self._spawn())
+            self._free.put(i)
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.result_shm_bytes),
+            daemon=True,
+            name="repro-kernel-worker",
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    # -- request execution -------------------------------------------------------
+
+    def _roundtrip(self, worker: _Worker, request: tuple) -> tuple:
+        worker.conn.send(request)
+        return worker.conn.recv()
+
+    def _execute(self, fp: str, schema, max_row_size: int, request: tuple, *, chaos_kill: bool = False) -> tuple[Any, dict]:
+        """Run one kernel request on any free worker; (payload, info)."""
+        if self._closed:
+            raise RuntimeError("process pool is shut down")
+        idx = self._free.get()
+        worker = self._workers[idx]
+        crashed = False
+        try:
+            if chaos_kill:
+                # Chaos: the injector decided this dispatch dies. SIGKILL
+                # the worker we just acquired so the failure is observed on
+                # this very request — deterministic given the seed.
+                worker.proc.kill()
+                worker.proc.join()
+            try:
+                if fp not in worker.schemas:
+                    status, payload, _ = self._roundtrip(
+                        worker, ("schema", fp, schema, max_row_size)
+                    )
+                    if status != "ok":  # pragma: no cover - codec build failed
+                        raise RuntimeError(f"schema shipping failed: {payload}")
+                    worker.schemas.add(fp)
+                status, payload, stats = self._roundtrip(worker, request)
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+                crashed = True
+                raise WorkerCrashed(
+                    f"kernel worker pid={worker.proc.pid} died mid-request: {exc!r}"
+                ) from exc
+            if status == "err":
+                raise RuntimeError(f"kernel worker error:\n{payload}")
+            if status == "shm":
+                name, nbytes = payload
+                # Plain attach, no unregister: the attach re-registers the
+                # name (set no-op, the worker's create already did) and the
+                # unlink below performs the single matching unregister.
+                shm = shared_memory.SharedMemory(name=name)
+                try:
+                    result = pickle.loads(shm.buf[:nbytes])
+                finally:
+                    shm.close()
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+                info = dict(stats, result_bytes=nbytes, via_shm=True)
+            else:
+                result = pickle.loads(payload)
+                info = dict(stats, result_bytes=len(payload), via_shm=False)
+            return result, info
+        finally:
+            if crashed or chaos_kill:
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                self._workers[idx] = self._spawn()
+            self._free.put(idx)
+
+    # -- kernel entry points ------------------------------------------------------
+
+    @staticmethod
+    def fingerprint(schema, max_row_size: int) -> str:
+        return f"{schema!r}|{max_row_size}"
+
+    def scan(self, schema, max_row_size: int, handles, *, chaos_kill: bool = False) -> tuple[list, dict]:
+        """decode_all over the visible bytes of ``handles``; (rows, info)."""
+        fp = self.fingerprint(schema, max_row_size)
+        wire = [(h.name, h.visible) for h in handles]
+        rows, info = self._execute(
+            fp, schema, max_row_size, ("scan", fp, wire), chaos_kill=chaos_kill
+        )
+        info["bytes_referenced"] = sum(h.visible for h in handles)
+        return rows, info
+
+    def chains(self, schema, max_row_size: int, handles, pointers, *, chaos_kill: bool = False) -> tuple[list, dict]:
+        """decode_chain per head pointer; (list-of-chains, info)."""
+        fp = self.fingerprint(schema, max_row_size)
+        wire = [(h.name, h.visible) for h in handles]
+        chains, info = self._execute(
+            fp, schema, max_row_size, ("chains", fp, wire, list(pointers)), chaos_kill=chaos_kill
+        )
+        info["bytes_referenced"] = sum(h.visible for h in handles)
+        return chains, info
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.kill()
+                worker.proc.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+
+# -- global pool ------------------------------------------------------------------
+#
+# Worker spawn costs ~1 s each (full interpreter + numpy import), so the
+# pool is a process-wide singleton shared by every EngineContext, sized on
+# first use. shutdown_pool() resets it (tests, atexit).
+
+_POOL: "ProcessPool | None" = None
+_POOL_LOCK = threading.Lock()
+
+
+def default_pool_size() -> int:
+    return min(4, max(2, os.cpu_count() or 1))
+
+
+def get_pool(num_workers: int = 0, result_shm_bytes: int = 256 * 1024) -> ProcessPool:
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None or _POOL._closed:
+            _POOL = ProcessPool(
+                num_workers or default_pool_size(), result_shm_bytes=result_shm_bytes
+            )
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pool)

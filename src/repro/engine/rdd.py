@@ -44,6 +44,9 @@ class RDD:
         self.cached = False
         #: Partitioner of the output, when known (lets joins avoid shuffles).
         self.partitioner: Partitioner | None = None
+        #: Explicit record-count estimate (see :meth:`with_estimated_records`);
+        #: overrides the lineage-derived estimate when set.
+        self._records_hint: int | None = None
 
     # -- to be provided by subclasses ----------------------------------------
 
@@ -62,6 +65,35 @@ class RDD:
         if self.cached:
             return self.context.cache_manager.get_or_compute(self, split, ctx)
         return self.compute(split, ctx)
+
+    def with_estimated_records(self, n: int) -> "RDD":
+        """Attach a known record count (e.g. a broadcast side already
+        collected on the driver) so the scheduler's small-job heuristic can
+        see through operators whose lineage it cannot estimate."""
+        self._records_hint = n
+        return self
+
+    def estimated_records(self) -> "int | None":
+        """Best-effort upper bound on this RDD's record count, from lineage.
+
+        Narrow chains propagate parent estimates (filters may shrink the
+        real count — the estimate stays an upper bound, which is the safe
+        direction for the inline heuristic); any wide edge, or a source
+        with no intrinsic size, yields None ("unknown", never inlined).
+        """
+        if self._records_hint is not None:
+            return self._records_hint
+        if not self.dependencies:
+            return None
+        total = 0
+        for dep in self.dependencies:
+            if not isinstance(dep, NarrowDependency):
+                return None
+            parent_estimate = dep.rdd.estimated_records()
+            if parent_estimate is None:
+                return None
+            total += parent_estimate
+        return total
 
     def preferred_locations(self, split: int) -> list[str]:
         """Executors where this partition's data already lives (for locality)."""
@@ -296,6 +328,9 @@ class ParallelCollectionRDD(RDD):
     @property
     def num_partitions(self) -> int:
         return len(self._slices)
+
+    def estimated_records(self) -> "int | None":
+        return sum(len(s) for s in self._slices)
 
     def compute(self, split: int, ctx: TaskContext) -> Iterator[Any]:
         return iter(self._slices[split])

@@ -22,6 +22,21 @@ Execution modes (``Config.scheduler_mode``):
   stage's in-flight siblings and propagates to the DAG scheduler; results
   are returned in partition order either way, so the two modes produce
   byte-identical query results.
+* ``"processes"`` — orchestration is identical to ``"threads"`` (tasks are
+  closures over the driver's RDD graph and cannot cross a process
+  boundary), but operators offload their CPU-bound decode kernels to a
+  process pool over shared-memory row batches (DESIGN.md §13), so the
+  driver threads spend their time blocked in ``recv`` — GIL released —
+  instead of decoding.
+
+**Small-job heuristic** (both parallel modes): a stage with at most
+``Config.small_stage_inline_threshold`` tasks, or whose lineage-estimated
+record count is at most ``small_stage_inline_rows``, runs inline in the
+caller's thread. Tiny jobs — the 51-row broadcast probes of the fig01
+amortization workload — were paying more in pool dispatch than their
+compute cost, which is exactly the BENCH_PR1 regression (0.40x). Every
+dispatch is counted in ``tasks_dispatched_total{mode, path}`` so the
+split is observable.
 
 Recovery behaviours (all emit structured events into
 ``MetricsCollector.recovery_events`` — DESIGN.md §8):
@@ -252,9 +267,10 @@ class TaskScheduler:
         """
         cfg = self.context.config
         mode = cfg.scheduler_mode
-        if mode not in ("sequential", "threads"):
+        if mode not in ("sequential", "threads", "processes"):
             raise ValueError(
-                f"unknown scheduler_mode {mode!r} (expected 'sequential' or 'threads')"
+                f"unknown scheduler_mode {mode!r} "
+                "(expected 'sequential', 'threads' or 'processes')"
             )
         with self._slot_lock:
             self.last_placements = []
@@ -276,10 +292,44 @@ class TaskScheduler:
             mode=mode,
             job_index=job_index,
         )
+        use_pool = (
+            mode in ("threads", "processes")
+            and len(partitions) > 1
+            and not self._should_inline(stage, partitions)
+        )
+        self.context.registry.inc(
+            "tasks_dispatched_total",
+            len(partitions),
+            mode=mode,
+            path="pooled" if use_pool else "inline",
+        )
+        stage_span.set_attr("dispatch", "pooled" if use_pool else "inline")
         with stage_span:
-            if mode == "threads" and len(partitions) > 1:
+            if use_pool:
                 return self._run_stage_threads(stage, partitions, job_index, stage_span)
             return self._run_stage_sequential(stage, partitions, job_index, stage_span)
+
+    def _should_inline(self, stage: "Stage", partitions: list[int]) -> bool:
+        """Small-job heuristic: skip pool dispatch when the stage is tiny.
+
+        Two triggers, both conservative: few tasks (the pool's submit/wait
+        machinery costs more than running a couple of tasks back to back),
+        or a small lineage-estimated record count (a broadcast probe of a
+        handful of keys spread over many partitions is still a tiny job).
+        Unknown estimates (any wide edge in the lineage) never inline.
+        Speculation disables the heuristic outright: an inlined stage has
+        no concurrent attempts, so it could never rescue a straggler.
+        """
+        cfg = self.context.config
+        if cfg.speculation:
+            return False
+        if 0 < cfg.small_stage_inline_threshold >= len(partitions):
+            return True
+        if cfg.small_stage_inline_rows > 0:
+            estimate = stage.rdd.estimated_records()
+            if estimate is not None and estimate <= cfg.small_stage_inline_rows:
+                return True
+        return False
 
     def _run_stage_sequential(
         self, stage: "Stage", partitions: list[int], job_index: int, stage_span: Any = None

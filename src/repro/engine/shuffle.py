@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
@@ -22,6 +23,42 @@ from repro.engine.partition import TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import EngineContext
+
+#: Segment-name prefix of shuffle-staged buckets (distinct from row-batch
+#: segments so leak diagnostics can tell the two apart in /dev/shm).
+SHUFFLE_SEGMENT_PREFIX = "repro-shuf-"
+
+
+class ShmBucket:
+    """A map-output bucket staged in a shared-memory segment (processes mode).
+
+    Buckets crossing ``Config.shuffle_shm_bytes`` are pickled once into
+    ``/dev/shm`` at map time, so the shuffle registry holds a ~100-byte
+    descriptor instead of the row list and reduce-side readers decode from
+    the mapped pages. Ownership follows the SharedRowBatch discipline: a
+    ``weakref.finalize`` unlinks the segment when the registry drops the
+    map output (executor loss, shuffle unregistration), and the atexit
+    sweep covers interrupted runs.
+    """
+
+    __slots__ = ("name", "nbytes", "count", "_shm", "_finalizer", "__weakref__")
+
+    def __init__(self, rows: list[Any]) -> None:
+        from repro.indexed.shared_batches import release_segment, stage_segment
+
+        payload = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+        shm = stage_segment(payload, prefix=SHUFFLE_SEGMENT_PREFIX)
+        self.name = shm.name
+        self.nbytes = len(payload)
+        self.count = len(rows)
+        self._shm = shm
+        self._finalizer = weakref.finalize(self, release_segment, self.name)
+
+    def rows(self) -> list[Any]:
+        return pickle.loads(self._shm.buf[: self.nbytes])
+
+    def __len__(self) -> int:
+        return self.count
 
 
 class FetchFailedError(Exception):
@@ -121,7 +158,11 @@ class ShuffleManager:
                 buckets.setdefault(p, []).append(rec)
         sizes = {p: estimate_size(rows) for p, rows in buckets.items()}
         ctx.shuffle_bytes_written += sum(sizes.values())
-        output = MapOutput(executor_id=ctx.executor_id, buckets=buckets, sizes=sizes)
+        output = MapOutput(
+            executor_id=ctx.executor_id,
+            buckets=self._maybe_stage_shm(buckets, sizes),
+            sizes=sizes,
+        )
         with self._lock:
             slots = self._outputs.get(dep.shuffle_id)
             if slots is not None:
@@ -130,6 +171,29 @@ class ShuffleManager:
             # drop the output — readers will see a missing map and the DAG
             # scheduler recomputes after re-registration.
         _ = num_reduces  # documented invariant: bucket ids < num_reduces
+
+    def _maybe_stage_shm(
+        self, buckets: dict[int, list[Any]], sizes: dict[int, int]
+    ) -> dict[int, Any]:
+        """Stage large buckets into shared-memory segments (processes mode)."""
+        cfg = self._context.config
+        if cfg.scheduler_mode != "processes" or cfg.shuffle_shm_bytes <= 0:
+            return buckets
+        registry = self._context.registry
+        out: dict[int, Any] = {}
+        for p, rows in buckets.items():
+            if sizes.get(p, 0) < cfg.shuffle_shm_bytes:
+                out[p] = rows
+                continue
+            try:
+                staged = ShmBucket(rows)
+            except (TypeError, AttributeError, pickle.PicklingError):
+                out[p] = rows  # unpicklable payloads stay inline
+                continue
+            registry.inc("shuffle_shm_buckets_total")
+            registry.inc("shuffle_bytes_shm_total", staged.nbytes)
+            out[p] = staged
+        return out
 
     # -- reduce side ----------------------------------------------------------------
 
@@ -171,13 +235,19 @@ class ShuffleManager:
             if not bucket:
                 continue
             nbytes = output.sizes.get(reduce_id, 0)
+            staged = isinstance(bucket, ShmBucket)
             if output.executor_id == ctx.executor_id:
                 pass  # in-process: free
             elif topology.same_machine(output.executor_id, ctx.executor_id):
-                ctx.shuffle_bytes_read_local += nbytes
+                if staged:
+                    # Same machine + shm-staged: the reader maps the
+                    # producer's segment; bytes are referenced, not moved.
+                    self._context.registry.inc("shuffle_bytes_shm_referenced_total", nbytes)
+                else:
+                    ctx.shuffle_bytes_read_local += nbytes
             else:
                 ctx.shuffle_bytes_read_remote += nbytes
-            chunks.append(bucket)
+            chunks.append(bucket.rows() if staged else bucket)
         self._context.registry.inc("shuffle_fetches_total")
         return itertools.chain.from_iterable(chunks)
 

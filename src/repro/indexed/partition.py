@@ -41,6 +41,7 @@ class IndexedPartition:
     """One hash partition of an Indexed DataFrame."""
 
     __slots__ = (
+        "batch_factory",
         "batch_size",
         "batches",
         "codec",
@@ -64,6 +65,7 @@ class IndexedPartition:
         max_row_size: int = 1024,
         version: int = 0,
         hash_string_keys: bool = True,
+        batch_factory: "Any | None" = None,
     ) -> None:
         self.schema = schema
         self.codec = RowCodec(schema, max_row_size=max_row_size)
@@ -71,6 +73,10 @@ class IndexedPartition:
         self.key_is_string = isinstance(schema.field(key_column).dtype, StringType)
         self.hash_string_keys = hash_string_keys
         self.batch_size = batch_size
+        # Storage backend for new batches: private bytearray RowBatch by
+        # default; process mode swaps in SharedRowBatch so workers can map
+        # the same bytes.
+        self.batch_factory = batch_factory if batch_factory is not None else RowBatch
         self.ctrie = CTrie()
         self.batches: list[RowBatch] = []
         self.version = version
@@ -108,7 +114,7 @@ class IndexedPartition:
                 batch_idx = len(self.batches) - 1
                 self._note_write(batch_idx, offset, len(data))
                 return batch_idx, offset
-        batch = RowBatch(self.batch_size)
+        batch = self.batch_factory(self.batch_size)
         offset = batch.append(data)
         if offset is None:
             raise ValueError(
@@ -236,6 +242,11 @@ class IndexedPartition:
                 out.extend(decode_all(batch.buf, watermark))
         return out
 
+    def visible_watermarks(self) -> list[int]:
+        """Per-batch byte counts visible to this version's sequential scans
+        (the offsets a remote scanner may decode up to)."""
+        return self._watermarks
+
     def contains_key(self, key: Any) -> bool:
         if self.key_is_string and self.hash_string_keys:
             return bool(self.lookup(key))
@@ -255,6 +266,7 @@ class IndexedPartition:
         child.key_is_string = self.key_is_string
         child.hash_string_keys = self.hash_string_keys
         child.batch_size = self.batch_size
+        child.batch_factory = self.batch_factory
         child.ctrie = self.ctrie.snapshot()
         child.batches = list(self.batches)  # share RowBatch objects
         child.version = new_version

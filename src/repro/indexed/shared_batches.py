@@ -1,0 +1,364 @@
+"""Shared-memory row batches: the zero-copy substrate of process executors.
+
+The paper's row batches are 4 MB "unsafe" off-heap binary buffers precisely
+so the hot path never touches per-object bookkeeping. That property is what
+makes them *shareable across OS processes for free*: a batch is just bytes,
+so backing it with a ``multiprocessing.shared_memory`` segment instead of a
+private ``bytearray`` lets worker processes map the same physical pages and
+decode rows without any serialization. Task dispatch then ships **handles
+and offsets, never data** (DESIGN.md §13):
+
+* :class:`SharedRowBatch` — drop-in for
+  :class:`~repro.indexed.row_batch.RowBatch`, same
+  ``reserve``/``write``/``append``/``buf`` interface, but the buffer is a
+  POSIX shared-memory segment. The driver (owner) side keeps writing into
+  the active tail exactly as before — MVCC visibility is governed by each
+  version's watermarks and backward pointers, so readers in other processes
+  simply never look past the watermark they were handed.
+* :class:`BatchHandle` — ``(segment name, visible bytes, capacity)``; the
+  unit of dispatch. A handle is ~100 bytes regardless of batch size.
+* :class:`SegmentCache` — the worker-side resolver: lazily attaches
+  segments by name on first use, caches the mapping, and sidesteps the
+  CPython < 3.13 ``resource_tracker`` bug where an *attaching* process
+  registers the segment and unlinks it on exit, destroying the owner's data.
+
+**Lifecycle** (the PR 4 spill-file discipline, applied to ``/dev/shm``):
+every segment created here is recorded in a process-local owner table; a
+``weakref.finalize`` on the owning batch unlinks the segment when the last
+in-driver reference drops (MVCC siblings share the batch *object*, so the
+segment lives exactly as long as any version can reach it), and an
+``atexit`` sweep unlinks whatever remains so a crashed or interrupted run
+cannot leak segments. Workers never unlink — they only attach and close.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import secrets
+import threading
+import weakref
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+from typing import NamedTuple
+
+#: Prefix of every segment this process creates; the atexit sweep and the
+#: leak-regression tests key on it.
+SEGMENT_PREFIX = "repro-batch-"
+
+#: Segments created (and therefore owned) by this process: name -> SharedMemory.
+#: The worker side never writes here; it attaches through SegmentCache.
+_OWNED: "dict[str, shared_memory.SharedMemory]" = {}
+_OWNED_LOCK = threading.Lock()
+
+#: Mappings whose close() failed (a live view still pins the pages). Kept
+#: alive so ``SharedMemory.__del__`` never retries the close and spams
+#: BufferError during gc; the unlink has already happened, so all that
+#: lingers is this process's own mapping, reclaimed at exit.
+_PINNED: "list[shared_memory.SharedMemory]" = []
+
+
+def _release_owned(name: str) -> None:
+    """Close and unlink an owned segment (idempotent, never raises)."""
+    with _OWNED_LOCK:
+        shm = _OWNED.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # a transient decode slice is still alive: unlink only
+        _PINNED.append(shm)
+    except OSError:
+        pass
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def sweep_owned_segments() -> int:
+    """Unlink every still-owned segment; returns how many were released.
+
+    Registered with ``atexit`` so an interrupted run cannot leak
+    ``/dev/shm`` entries; also callable from tests as a hard barrier.
+    """
+    names = list(_OWNED)
+    for name in names:
+        _release_owned(name)
+    return len(names)
+
+
+atexit.register(sweep_owned_segments)
+
+
+def owned_segment_count() -> int:
+    """Live segments owned by this process (lifecycle tests)."""
+    with _OWNED_LOCK:
+        return len(_OWNED)
+
+
+def stage_segment(payload: bytes, prefix: str = SEGMENT_PREFIX) -> shared_memory.SharedMemory:
+    """Create an owned segment pre-filled with ``payload``.
+
+    Used by the shuffle manager to stage large map-output buckets in
+    ``/dev/shm``; the segment joins the owner table, so the atexit sweep
+    covers it like any batch segment. Callers attach their own
+    ``weakref.finalize`` tied to whatever object carries the name.
+    """
+    name = f"{prefix}{secrets.token_hex(8)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    with _OWNED_LOCK:
+        _OWNED[shm.name] = shm
+    return shm
+
+
+def release_segment(name: str) -> None:
+    """Owner-side close + unlink of a staged segment (idempotent)."""
+    _release_owned(name)
+
+
+class BatchHandle(NamedTuple):
+    """Dispatchable reference to the visible bytes of one shared batch."""
+
+    name: str
+    #: Bytes of the segment visible to the receiving version (its watermark
+    #: for scans, ``used`` for chain walks). Appends past this point by
+    #: diverged MVCC siblings are invisible by construction.
+    visible: int
+    capacity: int
+
+
+class SharedRowBatch:
+    """A row batch whose buffer is a named shared-memory segment.
+
+    Same interface and locking discipline as
+    :class:`~repro.indexed.row_batch.RowBatch`; space is still reserved
+    atomically under a (driver-process) lock, so concurrent writers of MVCC
+    siblings never overlap. Only the owning process writes; attached
+    processes read through :class:`SegmentCache`.
+    """
+
+    __slots__ = ("capacity", "name", "_shm", "_used", "_lock", "_finalizer", "__weakref__")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("batch capacity must be positive")
+        self.capacity = capacity
+        name = f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        self.name = shm.name
+        self._shm = shm
+        self._used = 0
+        self._lock = threading.Lock()
+        with _OWNED_LOCK:
+            _OWNED[self.name] = shm
+        # Owner-drop unlink: when the last version sharing this batch object
+        # lets go of it, the segment goes too (mirrors the spill temp-file
+        # finalizers of DESIGN.md §10).
+        self._finalizer = weakref.finalize(self, _release_owned, self.name)
+
+    # -- RowBatch interface ----------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def buf(self) -> memoryview:
+        return self._shm.buf
+
+    #: Shared batches are always resident (spilling converts them to
+    #: SpillableRowBatch, dropping the segment).
+    resident = True
+
+    def reserve(self, nbytes: int) -> "int | None":
+        """Atomically claim ``nbytes``; returns the offset or None if full."""
+        with self._lock:
+            if self._used + nbytes > self.capacity:
+                return None
+            offset = self._used
+            self._used += nbytes
+            return offset
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._shm.buf[offset : offset + len(data)] = data
+
+    def append(self, data: bytes) -> "int | None":
+        offset = self.reserve(len(data))
+        if offset is not None:
+            self.write(offset, data)
+        return offset
+
+    @property
+    def nbytes(self) -> int:
+        return self.capacity
+
+    def __sizeof__(self) -> int:
+        # The segment's pages are charged to this object so the memory
+        # manager's deep_sizeof metering sees shared batches at full size
+        # (off-heap, but still this executor's budget to answer for).
+        return object.__sizeof__(self) + self.capacity
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle(self, visible: "int | None" = None) -> BatchHandle:
+        """Handle exposing ``visible`` bytes (defaults to all used bytes)."""
+        return BatchHandle(self.name, self._used if visible is None else visible, self.capacity)
+
+    def release(self) -> None:
+        """Explicitly close + unlink now (tests; normally the finalizer's job)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _release_owned(self.name)
+
+    @classmethod
+    def from_batch(cls, batch) -> "SharedRowBatch":
+        """Copy an existing (private) batch into a shared segment."""
+        out = cls(batch.capacity)
+        used = batch.used
+        if used:
+            out._shm.buf[:used] = bytes(batch.buf[:used])
+        out._used = used
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SharedRowBatch({self._used}/{self.capacity}, name={self.name})"
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment owned by another process, without adopting it.
+
+    CPython < 3.13 registers *every* ``SharedMemory`` — attached or created
+    — with a resource tracker, which unlinks registered names when it shuts
+    down (fixed upstream by ``track=False`` in 3.13). Two cases:
+
+    * A standalone process has its *own* tracker, which dies with it — left
+      registered, the segment would be unlinked at this process's exit,
+      destroying data the owner still needs. Unregister immediately.
+    * A ``multiprocessing`` child *shares the parent's tracker* (the fd is
+      inherited), where registration is a set no-op — but unregistering
+      would erase the owner's entry and trigger double-unregister noise
+      when the owner later unlinks. Leave it alone; the shared tracker only
+      cleans up when the owner exits, which is the backstop we want anyway.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.parent_process() is None:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker impl detail
+            pass
+    return shm
+
+
+class _AttachedBatch:
+    """Read-only view of a remote batch (duck-types ``.buf`` for the codec
+    chain kernels)."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self, buf: memoryview) -> None:
+        self.buf = buf
+
+
+class SegmentCache:
+    """Worker-side lazy attach cache: segment name -> mapped view.
+
+    Bounded LRU so a long-lived worker that has seen many generations of
+    batches does not hold dead mappings forever; evicted entries are closed
+    (never unlinked — ownership stays with the driver).
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self._segments: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+        #: Total attach operations performed (the per-reply stat the driver
+        #: aggregates into ``proc_segment_attaches_total``).
+        self.attaches = 0
+        #: Mappings whose close() failed because a decode view still pins
+        #: them; kept alive so ``SharedMemory.__del__`` never retries the
+        #: close (it would spam BufferError) — process exit reclaims them.
+        self._pinned: "list[shared_memory.SharedMemory]" = []
+
+    def view(self, name: str) -> memoryview:
+        shm = self._segments.get(name)
+        if shm is None:
+            shm = attach_segment(name)
+            self._segments[name] = shm
+            self.attaches += 1
+            if len(self._segments) > self.max_entries:
+                _old_name, old = self._segments.popitem(last=False)
+                try:
+                    old.close()
+                except BufferError:  # pragma: no cover - still referenced
+                    self._pinned.append(old)
+        else:
+            self._segments.move_to_end(name)
+        return shm.buf
+
+    def batch(self, name: str, visible: int) -> _AttachedBatch:
+        return _AttachedBatch(self.view(name)[:visible])
+
+    def detach(self, name: str) -> bool:
+        """Close one mapping (tests exercising attach/detach); True if held."""
+        shm = self._segments.pop(name, None)
+        if shm is None:
+            return False
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover
+            self._pinned.append(shm)
+        return True
+
+    def close_all(self) -> None:
+        while self._segments:
+            _name, shm = self._segments.popitem()
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover
+                self._pinned.append(shm)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+# -- partition-level handle resolution --------------------------------------------
+
+
+def scan_handles(partition) -> "list[BatchHandle] | None":
+    """Handles for a full watermark scan of ``partition``, or None when the
+    partition cannot be scanned remotely (non-contiguous version, columnar
+    storage, or any visible batch not shared-memory backed — e.g. spilled).
+    """
+    if not getattr(partition, "contiguous", False):
+        return None
+    batches = getattr(partition, "batches", None)
+    if batches is None:
+        return None
+    handles: list[BatchHandle] = []
+    for batch, watermark in zip(batches, partition.visible_watermarks()):
+        if not watermark:
+            continue
+        if not isinstance(batch, SharedRowBatch):
+            return None
+        handles.append(batch.handle(watermark))
+    return handles
+
+
+def chain_handles(partition) -> "list[BatchHandle] | None":
+    """Position-aligned handles for backward-pointer chain walks, or None.
+
+    Chain pointers index ``partition.batches`` by position, so *every*
+    batch must be shared (a single spilled batch makes remote decode
+    impossible and the caller falls back inline).
+    """
+    batches = getattr(partition, "batches", None)
+    if batches is None:
+        return None
+    handles: list[BatchHandle] = []
+    for batch in batches:
+        if not isinstance(batch, SharedRowBatch):
+            return None
+        handles.append(batch.handle())
+    return handles

@@ -130,7 +130,7 @@ def test_three_way_equivalence(data, seed):
     assert idx == baseline
 
 
-MODES = ("sequential", "threads")
+MODES = ("sequential", "threads", "processes")
 
 #: Satellite (a): at least 50 seeded random queries per scheduler mode.
 DIFFERENTIAL_SEEDS = list(range(50))

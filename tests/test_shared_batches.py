@@ -1,0 +1,360 @@
+"""Shared-memory row batches + kernel pool (DESIGN.md §13).
+
+Covers the processes-mode substrate end to end:
+
+* SharedRowBatch interface parity with RowBatch and the owner-side
+  segment lifecycle (finalizer unlink, atexit-style sweep, no leaks);
+* handle resolution rules (spilled/columnar/mixed partitions refuse);
+* SegmentCache attach/detach and concurrent readers;
+* the ProcessPool kernels against driver-side ground truth, including
+  result shipping through shared segments and MVCC visibility across
+  the process boundary;
+* worker crashes (chaos SIGKILL) surfacing as WorkerCrashed + respawn;
+* shuffle ShmBucket staging and the scheduler's small-job inline path.
+"""
+
+from __future__ import annotations
+
+import glob
+import threading
+
+import pytest
+
+from repro.config import Config
+from repro.engine.proc_pool import WorkerCrashed, get_pool, shutdown_pool
+from repro.engine.shuffle import ShmBucket
+from repro.indexed.partition import IndexedPartition
+from repro.indexed.row_batch import RowBatch
+from repro.indexed.shared_batches import (
+    SEGMENT_PREFIX,
+    BatchHandle,
+    SegmentCache,
+    SharedRowBatch,
+    attach_segment,
+    chain_handles,
+    owned_segment_count,
+    scan_handles,
+    sweep_owned_segments,
+)
+from repro.sql.session import Session
+from repro.sql.types import DOUBLE, LONG, Schema
+
+EDGE = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+
+
+def shm_entries() -> set[str]:
+    """Names of this run's segments currently visible in /dev/shm."""
+    return {p.rsplit("/", 1)[1] for p in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")}
+
+
+def make_part(rows, batch_size=2048, factory=SharedRowBatch) -> IndexedPartition:
+    part = IndexedPartition(
+        EDGE, "src", batch_size=batch_size, max_row_size=256, version=0,
+        batch_factory=factory,
+    )
+    part.insert_rows(rows)
+    return part
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = get_pool(2)
+    yield p
+    shutdown_pool()
+
+
+# ---------------------------------------------------------------------------
+# SharedRowBatch: interface parity + lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSharedRowBatch:
+    def test_interface_parity_with_row_batch(self):
+        shared, private = SharedRowBatch(256), RowBatch(256)
+        for batch in (shared, private):
+            assert batch.append(b"hello") == 0
+            assert batch.append(b"world") == 5
+            assert batch.used == 10
+            assert bytes(batch.buf[:10]) == b"helloworld"
+            assert batch.nbytes == 256
+            assert batch.reserve(999) is None  # over capacity
+        assert shared.resident is True
+        shared.release()
+
+    def test_segment_visible_in_dev_shm_until_released(self):
+        batch = SharedRowBatch(1024)
+        name = batch.name
+        assert name in shm_entries()
+        batch.release()
+        assert name not in shm_entries()
+        batch.release()  # idempotent
+
+    def test_finalizer_unlinks_on_gc(self):
+        before = owned_segment_count()
+        batch = SharedRowBatch(512)
+        name = batch.name
+        assert owned_segment_count() == before + 1
+        del batch
+        assert owned_segment_count() == before
+        assert name not in shm_entries()
+
+    def test_sweep_releases_stragglers(self):
+        batches = [SharedRowBatch(256) for _ in range(3)]
+        names = [b.name for b in batches]
+        # Detach the finalizers to simulate an interrupted run, then sweep.
+        for b in batches:
+            b._finalizer.detach()
+            b._finalizer = None
+        del batches
+        assert sweep_owned_segments() >= 3
+        assert not (set(names) & shm_entries())
+
+    def test_from_batch_copies_private_buffer(self):
+        private = RowBatch(128)
+        private.append(b"abcdef")
+        shared = SharedRowBatch.from_batch(private)
+        assert shared.used == 6
+        assert bytes(shared.buf[:6]) == b"abcdef"
+        shared.release()
+
+    def test_sizeof_charges_full_capacity(self):
+        import sys
+
+        batch = SharedRowBatch(4096)
+        assert sys.getsizeof(batch) >= 4096  # memory-manager metering
+        batch.release()
+
+
+# ---------------------------------------------------------------------------
+# Handle resolution
+# ---------------------------------------------------------------------------
+
+
+class TestHandleResolution:
+    def test_scan_handles_cover_watermarks(self):
+        rows = [(i % 7, i, float(i)) for i in range(500)]
+        part = make_part(rows)
+        handles = scan_handles(part)
+        assert handles and all(isinstance(h, BatchHandle) for h in handles)
+        assert [h.visible for h in handles] == [
+            w for w in part.visible_watermarks() if w
+        ]
+
+    def test_private_batches_resolve_to_none(self):
+        part = make_part([(1, 2, 3.0)], factory=RowBatch)
+        assert scan_handles(part) is None
+        assert chain_handles(part) is None
+
+    def test_mixed_batches_resolve_to_none(self):
+        part = make_part([(i % 3, i, 0.0) for i in range(400)])
+        assert chain_handles(part) is not None
+        part.batches[0] = RowBatch(2048)  # e.g. one batch spilled + restored
+        assert chain_handles(part) is None
+
+    def test_snapshot_keeps_factory_and_visibility(self):
+        parent = make_part([(i % 5, i, 1.0) for i in range(200)])
+        child = parent.snapshot(1)
+        child.insert_rows([(99, 1, 2.0), (99, 2, 2.5)])
+        assert child.batch_factory is SharedRowBatch
+        # Parent handles expose only the parent's watermarks: the child's
+        # appends into the shared tail batch stay invisible.
+        parent_visible = sum(h.visible for h in scan_handles(parent))
+        child_visible = sum(h.visible for h in scan_handles(child))
+        assert child_visible > parent_visible
+
+
+# ---------------------------------------------------------------------------
+# SegmentCache
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentCache:
+    def test_attach_detach_roundtrip(self):
+        batch = SharedRowBatch(256)
+        batch.append(b"payload!")
+        cache = SegmentCache()
+        assert bytes(cache.view(batch.name)[:8]) == b"payload!"
+        assert cache.attaches == 1
+        cache.view(batch.name)  # cached: no new attach
+        assert cache.attaches == 1
+        assert len(cache) == 1
+        assert cache.detach(batch.name) is True
+        assert cache.detach(batch.name) is False
+        cache.close_all()
+        batch.release()
+
+    def test_lru_bound(self):
+        batches = [SharedRowBatch(64) for _ in range(5)]
+        cache = SegmentCache(max_entries=3)
+        for b in batches:
+            cache.view(b.name)
+        assert len(cache) <= 3
+        cache.close_all()
+        for b in batches:
+            b.release()
+
+    def test_concurrent_readers_one_segment(self):
+        batch = SharedRowBatch(4096)
+        batch.append(b"x" * 1000)
+        cache = SegmentCache()
+        errors: list[Exception] = []
+
+        def read():
+            try:
+                for _ in range(200):
+                    view = cache.view(batch.name)
+                    assert bytes(view[:4]) == b"xxxx"
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        cache.close_all()
+        batch.release()
+
+    def test_attach_segment_does_not_adopt_ownership(self):
+        batch = SharedRowBatch(128)
+        batch.append(b"still-mine")
+        shm = attach_segment(batch.name)
+        assert bytes(shm.buf[:10]) == b"still-mine"
+        shm.close()
+        assert batch.name in shm_entries()  # owner's segment untouched
+        batch.release()
+
+
+# ---------------------------------------------------------------------------
+# The kernel pool
+# ---------------------------------------------------------------------------
+
+
+class TestProcessPool:
+    def test_scan_matches_driver_decode(self, pool):
+        rows = [(i % 13, i, float(i) / 3) for i in range(2000)]
+        part = make_part(rows)
+        got, info = pool.scan(EDGE, part.codec.max_row_size, scan_handles(part))
+        assert sorted(got) == sorted(part.scan_rows())
+        assert info["bytes_referenced"] > 0
+        assert info["attaches"] >= 1
+
+    def test_chains_match_driver_lookup(self, pool):
+        from repro.indexed.pointers import NULL_POINTER
+
+        rows = [(i % 9, i, 0.5) for i in range(1200)]
+        part = make_part(rows)
+        keys = list(range(9))
+        pointers = [part.ctrie.lookup(part.index_key(k), NULL_POINTER) for k in keys]
+        assert NULL_POINTER not in pointers
+        chains, _ = pool.chains(
+            EDGE, part.codec.max_row_size, chain_handles(part), pointers
+        )
+        for key, chain in zip(keys, chains):
+            assert sorted(chain) == sorted(part.lookup(key))
+
+    def test_large_result_ships_via_shared_segment(self, pool):
+        rows = [(i, i, float(i) / 7) for i in range(25_000)]  # >> 256 KiB pickled
+        part = make_part(rows, batch_size=1 << 18)
+        got, info = pool.scan(EDGE, part.codec.max_row_size, scan_handles(part))
+        assert len(got) == 25_000
+        assert info["via_shm"] is True
+        assert info["result_bytes"] >= pool.result_shm_bytes
+        # The worker-created result segment was unlinked by the driver.
+        assert not glob.glob("/dev/shm/repro-res-*")
+
+    def test_mvcc_visibility_across_processes(self, pool):
+        parent = make_part([(i % 4, i, 1.0) for i in range(300)])
+        parent_handles = scan_handles(parent)
+        child = parent.snapshot(1)
+        child.insert_rows([(7, 10_000 + i, 9.9) for i in range(50)])
+        # The pre-append handles must hide the child's rows from the worker.
+        got, _ = pool.scan(EDGE, parent.codec.max_row_size, parent_handles)
+        assert len(got) == 300
+        assert not [r for r in got if r[2] == 9.9]
+        child_got, _ = pool.scan(EDGE, child.codec.max_row_size, scan_handles(child))
+        assert len(child_got) == 350
+
+    def test_chaos_kill_raises_and_respawns(self, pool):
+        part = make_part([(i % 3, i, 0.0) for i in range(200)])
+        handles = scan_handles(part)
+        with pytest.raises(WorkerCrashed):
+            pool.scan(EDGE, part.codec.max_row_size, handles, chaos_kill=True)
+        # The slot was respawned: the pool keeps serving.
+        got, _ = pool.scan(EDGE, part.codec.max_row_size, handles)
+        assert len(got) == 200
+
+
+# ---------------------------------------------------------------------------
+# Shuffle staging
+# ---------------------------------------------------------------------------
+
+
+class TestShmBucket:
+    def test_roundtrip_and_lifecycle(self):
+        rows = [(i, f"v{i}") for i in range(100)]
+        bucket = ShmBucket(rows)
+        assert len(bucket) == 100
+        assert bucket.rows() == rows
+        name = bucket.name
+        assert glob.glob(f"/dev/shm/{name}")
+        del bucket
+        assert not glob.glob(f"/dev/shm/{name}")
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: dispatch accounting + no leaked segments
+# ---------------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_small_jobs_inline_large_jobs_pool(self):
+        session = Session(config=Config(
+            scheduler_mode="threads", default_parallelism=4, shuffle_partitions=4,
+            small_stage_inline_threshold=2, small_stage_inline_rows=64,
+        ))
+        ctx = session.context
+        # 2 partitions <= threshold: inline on the driver thread.
+        assert ctx.parallelize(range(10), 2).map(lambda x: x + 1).collect()
+        by_path = ctx.registry.counter_by_label("tasks_dispatched_total", "path")
+        assert by_path.get("inline", 0) == 2 and not by_path.get("pooled")
+        # 4 partitions with no row estimate: the thread pool.
+        assert ctx.parallelize(range(5000), 4).map(lambda x: x + 1).collect()
+        by_path = ctx.registry.counter_by_label("tasks_dispatched_total", "path")
+        assert by_path.get("pooled", 0) == 4
+
+    def test_records_hint_inlines_broadcast_probe(self):
+        session = Session(config=Config(
+            scheduler_mode="threads", default_parallelism=4, shuffle_partitions=4,
+            small_stage_inline_threshold=0, small_stage_inline_rows=64,
+        ))
+        ctx = session.context
+        rdd = ctx.parallelize(range(4000), 4).map(lambda x: x)
+        assert rdd.estimated_records() == 4000
+        assert rdd.with_estimated_records(12).estimated_records() == 12
+        rdd.collect()
+        by_path = ctx.registry.counter_by_label("tasks_dispatched_total", "path")
+        assert by_path.get("inline", 0) == 4  # hinted below the row threshold
+
+    def test_processes_mode_no_segment_leak(self):
+        sweep_owned_segments()
+        before = shm_entries()
+        session = Session(config=Config(
+            scheduler_mode="processes", default_parallelism=4, shuffle_partitions=4,
+            proc_offload_min_bytes=0, proc_offload_min_keys=1,
+            small_stage_inline_threshold=0, small_stage_inline_rows=0,
+        ))
+        rows = [(i % 40, i, float(i)) for i in range(4000)]
+        idf = session.create_dataframe(rows, EDGE, "edges").create_index("src")
+        got = sorted(idf.to_df().collect_tuples())
+        assert got == sorted(rows)
+        reg = session.context.registry
+        assert reg.counter_total("proc_kernel_dispatch_total") > 0
+        assert reg.counter_total("proc_bytes_referenced_total") > 0
+        del idf, session
+        import gc
+
+        gc.collect()
+        assert owned_segment_count() == 0
+        assert shm_entries() <= before
