@@ -22,15 +22,27 @@ The smoke fails (non-zero exit) unless:
 Writes ``BENCH_PR5.json`` (throughput, p50/p95/p99 latency per tier, chaos
 summary) at the repository root.
 
+``--sharded`` runs the PR 7 scenario instead: a Zipf workload over a
+million simulated users against the sharded, replicated serve tier
+(DESIGN.md §14), four runs — no-replication baseline, hot-key replication
+(gate: >= 1.5x throughput under skew), replication + kill-one-shard (gate:
+zero wrong answers, zero degraded results, failover without client-visible
+errors), and no-replication + kill (graceful degradation: partial answers
+flagged, never wrong). Writes ``BENCH_PR7.json`` with per-shard p99 and
+shed rates.
+
 Usage::
 
     python benchmarks/serve_smoke.py [out.json]
+    python benchmarks/serve_smoke.py --sharded [out.json]
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -38,9 +50,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import Config  # noqa: E402
 from repro.engine.context import EngineContext  # noqa: E402
-from repro.serve import IngestLoop, QueryServer, ServeConfig, ServeRejected  # noqa: E402
+from repro.serve import (  # noqa: E402
+    IngestLoop,
+    QueryServer,
+    RouterConfig,
+    ServeConfig,
+    ServeRejected,
+    ShardConfig,
+    ShardRouter,
+)
 from repro.sql.session import Session  # noqa: E402
 from repro.sql.types import DOUBLE, LONG, STRING, Schema  # noqa: E402
+from repro.workloads.zipf import zipf_sample  # noqa: E402
 
 USER_SCHEMA = Schema.of(("uid", LONG), ("name", STRING), ("score", DOUBLE))
 N_USERS = 2000
@@ -192,6 +213,279 @@ def run_chaos() -> dict:
     return summary
 
 
+# -- the sharded tier (PR 7): Zipf over a million simulated users ---------------------
+
+N_SIM_USERS = 1_000_000  # the id space queries draw from (Zipf-skewed)
+DATASET_ROWS = 40_000  # physical rows pinned (sampled users + filler)
+SHARD_QUERIES = 4_000
+NUM_SHARDS = 4
+CLIENT_THREADS = 8
+SERVICE_TIME = 1e-3  # simulated per-lookup service: a shard is ~1k qps
+ZIPF_ALPHA = 1.2
+
+
+def make_zipf_workload(seed: int = 13) -> list[int]:
+    """SHARD_QUERIES uids Zipf-drawn from a million-user id space."""
+    return [int(u) for u in zipf_sample(N_SIM_USERS, SHARD_QUERIES, ZIPF_ALPHA, seed)]
+
+
+def make_sharded_rows(workload: list[int]) -> list[tuple]:
+    """The served dataset: every sampled user plus filler rows. (Pinning a
+    million physical rows is not what the scenario measures — the *id
+    space* is 10^6; the resident set is what a cache tier would hold.)"""
+    uids = sorted(set(workload))
+    rows = [(u, f"user{u % 97}", float((u * 37) % 1000) / 10.0) for u in uids]
+    rows += [
+        (N_SIM_USERS + j, f"fill{j % 97}", 0.0)
+        for j in range(max(0, DATASET_ROWS - len(rows)))
+    ]
+    return rows
+
+
+def make_router(
+    rows: list[tuple], replicated: bool, **config_overrides
+) -> tuple[Session, ShardRouter]:
+    config = Config(
+        default_parallelism=16,
+        shuffle_partitions=16,
+        row_batch_size=65536,
+        scheduler_mode="sequential",
+        **config_overrides,
+    )
+    session = Session(context=EngineContext(config=config))
+    df = session.create_dataframe(rows, USER_SCHEMA, name="users")
+    idf = df.create_index("uid")
+    router_config = RouterConfig(
+        replication_factor=2 if replicated else 1,
+        enable_hot_cache=replicated,
+        enable_hot_promotion=replicated,
+        hot_cache_capacity=64 if replicated else 0,
+        hot_key_min_count=32,
+        hot_promotion_min_count=128,
+        hedge_delay=0.005 if replicated else 0.0,
+        shard=ShardConfig(max_inflight=16, service_time=SERVICE_TIME),
+    )
+    router = ShardRouter(session, NUM_SHARDS, config=router_config)
+    router.publish("users", idf)
+    return session, router
+
+
+def drive_sharded(
+    router: ShardRouter,
+    workload: list[int],
+    expected: dict[int, list[tuple]],
+    kill_at: "int | None" = None,
+    kill_shard: int = 0,
+) -> tuple[dict, float]:
+    """CLIENT_THREADS closed-loop clients splitting the workload; one of
+    them kills a shard mid-stream when ``kill_at`` is set."""
+    totals = {
+        "answered": 0,
+        "wrong": 0,
+        "shed_retries": 0,
+        "degraded": 0,
+        "client_errors": 0,
+        "failovers": 0,
+        "hedged": 0,
+        "hot_cache_answers": 0,
+    }
+    lock = threading.Lock()
+    cursor = itertools.count()
+
+    def client() -> None:
+        local = dict.fromkeys(totals, 0)
+        while True:
+            i = next(cursor)
+            if i >= len(workload):
+                break
+            if kill_at is not None and i == kill_at:
+                router.kill_shard(kill_shard, reason="bench-kill-one-shard")
+            uid = workload[i]
+            result = None
+            for _ in range(60):
+                try:
+                    result = router.query(
+                        "SELECT * FROM users WHERE uid = ?", params=[uid]
+                    )
+                    break
+                except ServeRejected as exc:
+                    if not exc.retryable:
+                        local["client_errors"] += 1
+                        break
+                    local["shed_retries"] += 1
+                    time.sleep(0.001)
+                except Exception:
+                    local["client_errors"] += 1
+                    break
+            if result is None:
+                if local["client_errors"] == 0:
+                    local["client_errors"] += 1  # retries exhausted
+                continue
+            local["answered"] += 1
+            local["failovers"] += result.failovers
+            local["hedged"] += 1 if result.hedged else 0
+            local["hot_cache_answers"] += 1 if result.from_hot_cache else 0
+            if result.degraded:
+                local["degraded"] += 1
+            elif sorted(result.rows) != expected.get(uid, []):
+                local["wrong"] += 1
+        with lock:
+            for k, v in local.items():
+                totals[k] += v
+
+    threads = [
+        threading.Thread(target=client, name=f"bench-client-{i}")
+        for i in range(CLIENT_THREADS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return totals, time.perf_counter() - t0
+
+
+def shard_tier_stats(session: Session, router: ShardRouter) -> dict:
+    reg = session.context.registry
+    per_shard = {}
+    total_requests = total_shed = 0.0
+    for s in range(NUM_SHARDS):
+        pcts = reg.histogram_percentiles("serve_shard_latency_seconds", shard=s)
+        requests = reg.counter_value("serve_shard_requests_total", shard=s, op="lookup")
+        shed = reg.counter_value("serve_shard_shed_total", shard=s)
+        total_requests += requests
+        total_shed += shed
+        per_shard[str(s)] = {
+            "requests": requests,
+            "shed": shed,
+            "p50_ms": pcts["p50"] * 1e3,
+            "p99_ms": pcts["p99"] * 1e3,
+            "state": router.shard_states()[s],
+        }
+    return {
+        "per_shard": per_shard,
+        "shed_rate": total_shed / max(1.0, total_requests + total_shed),
+        "failovers_total": reg.counter_value("serve_shard_failovers_total"),
+        "hedged_requests_total": reg.counter_value("serve_hedged_requests_total"),
+        "hot_cache_hits_total": reg.counter_value("serve_hot_cache_hits_total"),
+        "hot_promotions_total": reg.counter_value("serve_hot_promotions_total"),
+        "shard_deaths_total": reg.counter_total("serve_shard_deaths_total"),
+    }
+
+
+def run_sharded(
+    name: str,
+    workload: list[int],
+    expected: dict[int, list[tuple]],
+    replicated: bool,
+    kill_at: "int | None" = None,
+    **config_overrides,
+) -> dict:
+    rows = make_sharded_rows(workload)
+    session, router = make_router(rows, replicated, **config_overrides)
+    try:
+        totals, wall_s = drive_sharded(router, workload, expected, kill_at=kill_at)
+        stats = shard_tier_stats(session, router)
+    finally:
+        router.shutdown()
+    run = {
+        "throughput_qps": totals["answered"] / wall_s,
+        "wall_s": wall_s,
+        **totals,
+        **stats,
+        "routing_table_sample": {
+            str(k): v for k, v in list(router.routing_table("users").items())[:4]
+        },
+    }
+    worst_p99 = max(s["p99_ms"] for s in stats["per_shard"].values())
+    print(
+        f"{name:>28}: {run['throughput_qps']:7.0f} q/s  "
+        f"wrong={totals['wrong']} degraded={totals['degraded']} "
+        f"shed_rate={stats['shed_rate']:.3f} worst_shard_p99={worst_p99:.2f}ms "
+        f"failovers={stats['failovers_total']:.0f} "
+        f"hot_hits={stats['hot_cache_hits_total']:.0f}"
+    )
+    return run
+
+
+def main_sharded(out: Path) -> int:
+    failures: list[str] = []
+    workload = make_zipf_workload()
+    expected = {r[0]: [r] for r in make_sharded_rows(workload)}
+    kill_at = SHARD_QUERIES // 3
+
+    base = run_sharded("no_replication", workload, expected, replicated=False)
+    repl = run_sharded("replicated", workload, expected, replicated=True)
+    repl_kill = run_sharded(
+        "replicated_kill_one_shard",
+        workload,
+        expected,
+        replicated=True,
+        kill_at=kill_at,
+        chaos_seed=29,
+        chaos_shard_straggler_prob=0.01,
+        chaos_shard_straggler_delay=0.02,
+    )
+    base_kill = run_sharded(
+        "no_replication_kill_one_shard",
+        workload,
+        expected,
+        replicated=False,
+        kill_at=kill_at,
+    )
+    runs = {
+        "no_replication": base,
+        "replicated": repl,
+        "replicated_kill_one_shard": repl_kill,
+        "no_replication_kill_one_shard": base_kill,
+    }
+
+    for name, run in runs.items():
+        if run["wrong"]:
+            failures.append(f"{name}: {run['wrong']} wrong answers")
+        if run["client_errors"]:
+            failures.append(f"{name}: {run['client_errors']} client-visible errors")
+    speedup = repl["throughput_qps"] / base["throughput_qps"]
+    print(f"   replication speedup under skew: {speedup:.2f}x (gate: >= 1.5x)")
+    if speedup < 1.5:
+        failures.append(f"hot-key replication speedup {speedup:.2f}x < 1.5x")
+    if repl_kill["degraded"]:
+        failures.append(
+            f"replicated kill run degraded {repl_kill['degraded']} answers "
+            "(rf=2 must absorb one death)"
+        )
+    if repl_kill["failovers_total"] < 1:
+        failures.append("kill-one-shard run never failed over")
+    if base_kill["degraded"] == 0:
+        failures.append(
+            "no-replication kill run never degraded (kill did not bite)"
+        )
+
+    bench = {
+        "workload": {
+            "simulated_users": N_SIM_USERS,
+            "zipf_alpha": ZIPF_ALPHA,
+            "queries": SHARD_QUERIES,
+            "dataset_rows": DATASET_ROWS,
+            "shards": NUM_SHARDS,
+            "clients": CLIENT_THREADS,
+            "service_time_s": SERVICE_TIME,
+            "kill_at_query": kill_at,
+        },
+        "runs": runs,
+        "replication_speedup_under_skew": speedup,
+        "ok": not failures,
+    }
+    out.write_text(json.dumps(bench, indent=2, default=str) + "\n")
+    print(f"wrote {out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("sharded serve smoke OK")
+    return 0
+
+
 def main() -> int:
     failures: list[str] = []
     naive, naive_answers = run_tier("naive", plan_cache=False, fastpath=False)
@@ -243,4 +537,12 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    argv = [a for a in sys.argv[1:] if a != "--sharded"]
+    if len(argv) != len(sys.argv) - 1:  # --sharded was present
+        out_path = (
+            Path(argv[0])
+            if argv
+            else Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+        )
+        raise SystemExit(main_sharded(out_path))
     raise SystemExit(main())

@@ -40,7 +40,15 @@ from repro.sql.types import (
 
 # Side effect: adds DataFrame.create_index (the "implicit conversion").
 from repro.indexed import IndexedDataFrame, enable_indexing  # noqa: E402  isort: skip
-from repro.serve import IngestLoop, QueryServer, ServeConfig, ServeRejected  # noqa: E402
+from repro.serve import (  # noqa: E402
+    IngestLoop,
+    QueryServer,
+    RouterConfig,
+    ServeConfig,
+    ServeRejected,
+    ShardConfig,
+    ShardRouter,
+)
 
 __version__ = "1.0.0"
 
@@ -54,11 +62,14 @@ __all__ = [
     "IngestLoop",
     "LONG",
     "QueryServer",
+    "RouterConfig",
     "STRING",
     "Schema",
     "ServeConfig",
     "ServeRejected",
     "Session",
+    "ShardConfig",
+    "ShardRouter",
     "StructField",
     "avg",
     "col",

@@ -102,6 +102,16 @@ class FaultInjector:
     #: pool worker mid-request. Keyed by (stage, split, attempt) like task
     #: chaos, so a seed kills the same logical dispatches every run.
     proc_kill_prob: float = 0.0
+    #: Probability that one routed serve operation crashes a shard *before*
+    #: the call lands (the kill-one-shard scenario). Keyed by the router's
+    #: operation index; the victim shard is drawn from the same site, so a
+    #: given seed kills the same shards at the same operations every run.
+    shard_kill_prob: float = 0.0
+    #: Probability that one shard-local serve call straggles (sleeps
+    #: ``shard_straggler_delay`` before answering) — what hedged retries
+    #: exist to beat. Keyed by (shard_id, shard-local op index).
+    shard_straggler_prob: float = 0.0
+    shard_straggler_delay: float = 0.05
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
@@ -115,6 +125,10 @@ class FaultInjector:
     _targeted_delays: list[tuple[int, float, int | None]] = field(default_factory=list)
     #: One-shot memory squeezes waiting on the launch counter: (at, factor).
     _memory_squeezes: list[tuple[int, float]] = field(default_factory=list)
+    #: Scheduled shard kills waiting on the router op counter: (at, shard_id).
+    _shard_kills: list[tuple[int, int]] = field(default_factory=list)
+    #: One-shot targeted shard stragglers: shard_id -> delay seconds.
+    _shard_delays: dict[int, float] = field(default_factory=dict)
     _fetch_counts: dict[tuple[int, int], int] = field(default_factory=dict)
     #: shuffle_id -> first-seen dense index. Shuffle ids are allocated from a
     #: process-global counter, so the raw id is not stable across contexts;
@@ -135,6 +149,9 @@ class FaultInjector:
         memory_squeeze_factor: float | None = None,
         serve_rejection_prob: float | None = None,
         proc_kill_prob: float | None = None,
+        shard_kill_prob: float | None = None,
+        shard_straggler_prob: float | None = None,
+        shard_straggler_delay: float | None = None,
     ) -> None:
         with self._lock:
             if seed is not None:
@@ -155,6 +172,12 @@ class FaultInjector:
                 self.serve_rejection_prob = serve_rejection_prob
             if proc_kill_prob is not None:
                 self.proc_kill_prob = proc_kill_prob
+            if shard_kill_prob is not None:
+                self.shard_kill_prob = shard_kill_prob
+            if shard_straggler_prob is not None:
+                self.shard_straggler_prob = shard_straggler_prob
+            if shard_straggler_delay is not None:
+                self.shard_straggler_delay = shard_straggler_delay
 
     # -- scheduled kills -----------------------------------------------------------
 
@@ -295,6 +318,59 @@ class FaultInjector:
             return False
         return _draw(self.seed, "prockill", stage_id, split, attempt) < self.proc_kill_prob
 
+    # -- sharded serving chaos -------------------------------------------------------
+
+    def kill_shard_at(self, op_index: int, shard_id: int) -> None:
+        """Crash shard ``shard_id`` when the router's Nth routed operation
+        starts — the deterministic kill-one-shard-at-QPS scenario."""
+        with self._lock:
+            self._shard_kills.append((op_index, shard_id))
+
+    def delay_shard_once(self, shard_id: int, delay: float) -> None:
+        """Make shard ``shard_id``'s next serve call sleep ``delay`` seconds
+        (a targeted straggler, the hedging tests' trigger)."""
+        with self._lock:
+            self._shard_delays[shard_id] = max(delay, self._shard_delays.get(shard_id, 0.0))
+
+    def on_shard_route(self, op_index: int, num_shards: int) -> "int | None":
+        """Shard id that must crash before this routed operation, or None.
+
+        Scheduled kills (:meth:`kill_shard_at`) fire first; otherwise the
+        probabilistic draw is keyed by the op index and the victim by a
+        second draw at the same site, so a seed reproduces the same kill
+        schedule run after run.
+        """
+        with self._lock:
+            remaining: list[tuple[int, int]] = []
+            victim: "int | None" = None
+            for at, shard_id in self._shard_kills:
+                if victim is None and op_index >= at:
+                    victim = shard_id
+                else:
+                    remaining.append((at, shard_id))
+            self._shard_kills = remaining
+        if victim is not None:
+            return victim
+        if self.shard_kill_prob <= 0 or num_shards <= 0:
+            return None
+        if _draw(self.seed, "shardkill", op_index) < self.shard_kill_prob:
+            return int(_draw(self.seed, "shardvictim", op_index) * num_shards)
+        return None
+
+    def on_shard_call(self, shard_id: int, op_index: int) -> float:
+        """Seconds this shard-local call must straggle (0.0 = no chaos)."""
+        delay = 0.0
+        if self._shard_delays:
+            with self._lock:
+                delay = self._shard_delays.pop(shard_id, 0.0)
+        if self.shard_straggler_prob > 0:
+            if (
+                _draw(self.seed, "shardstraggle", shard_id, op_index)
+                < self.shard_straggler_prob
+            ):
+                delay = max(delay, self.shard_straggler_delay)
+        return delay
+
     def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
         """True when this fetch should fail flakily (map output intact)."""
         if self.fetch_failure_prob <= 0:
@@ -313,6 +389,8 @@ class FaultInjector:
             self._task_kills.clear()
             self._targeted_delays.clear()
             self._memory_squeezes.clear()
+            self._shard_kills.clear()
+            self._shard_delays.clear()
             self._fetch_counts.clear()
             self._shuffle_order.clear()
             self._task_launches = 0
@@ -322,3 +400,5 @@ class FaultInjector:
             self.memory_squeeze_prob = 0.0
             self.serve_rejection_prob = 0.0
             self.proc_kill_prob = 0.0
+            self.shard_kill_prob = 0.0
+            self.shard_straggler_prob = 0.0

@@ -90,6 +90,12 @@ RECOVERY_EVENT_KINDS = (
     "block_evicted",         # memory pressure dropped a whole cached block
     "memory_pressure",       # budget exhausted even after spill + evict
     "chaos_memory_squeeze",  # injected squeeze of an executor's budget
+    "shard_lost",            # a serve shard died (manual, chaos, or missed heartbeats)
+    "shard_failover",        # a routed query moved to a replica mid-flight
+    "shard_repaired",        # replication restored by copying from a live replica
+    "shard_recovered",       # a dead shard restarted and re-pinned its partitions
+    "hot_partition_replicated",  # popularity sketch promoted a partition R-ways
+    "chaos_shard_kill",      # injected shard crash (kill-one-shard scenario)
 )
 
 

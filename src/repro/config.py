@@ -192,6 +192,16 @@ class Config:
     #: incoming query (seeded, per query index) — chaos for client retry
     #: paths; rejections are always retryable, never wrong answers.
     chaos_serve_rejection_prob: float = 0.0
+    #: Probability that one routed operation in the sharded serve tier
+    #: crashes a shard mid-query (seeded per router op index; the victim is
+    #: drawn at the same site). The router must fail over to a replica —
+    #: never a wrong answer, ``degraded`` only when a partition has no live
+    #: replica left.
+    chaos_shard_kill_prob: float = 0.0
+    #: Probability that a shard-local serve call straggles (sleeps before
+    #: answering) — the condition hedged retries exist to beat.
+    chaos_shard_straggler_prob: float = 0.0
+    chaos_shard_straggler_delay: float = 0.05
     #: Per-executor cached-block budget in bytes; 0 = unbounded (no metering).
     executor_memory_bytes: int = 0
     #: Where spilled row batches live (None: the system temp directory).

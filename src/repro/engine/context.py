@@ -69,6 +69,9 @@ class EngineContext:
             memory_squeeze_factor=self.config.chaos_memory_squeeze_factor,
             serve_rejection_prob=self.config.chaos_serve_rejection_prob,
             proc_kill_prob=self.config.chaos_proc_kill_prob,
+            shard_kill_prob=self.config.chaos_shard_kill_prob,
+            shard_straggler_prob=self.config.chaos_shard_straggler_prob,
+            shard_straggler_delay=self.config.chaos_shard_straggler_delay,
         )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors

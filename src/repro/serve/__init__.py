@@ -1,4 +1,4 @@
-"""Query-serving subsystem (DESIGN.md §11).
+"""Query-serving subsystem (DESIGN.md §11, §14).
 
 Everything below this package turns the engine from a batch driver into a
 multi-tenant query *service*:
@@ -10,30 +10,64 @@ multi-tenant query *service*:
   an Indexed DataFrame whose partitions are held in-process, so point
   lookups can be served on the server thread without scheduling a job;
 * :mod:`~repro.serve.fastpath` — recognizes single-key equality queries on
-  indexed relations and compiles them to pinned-snapshot lookups;
+  indexed relations and compiles them to pinned-snapshot lookups, and
+  served-view scans into fan-out templates;
 * :class:`~repro.serve.ingest.IngestLoop` — concurrent MVCC appends through
   the ReplayLog while readers keep serving from pinned versions, with
-  atomic publish and replay-log truncation behind a retention window.
+  atomic publish and replay-log truncation behind a retention window;
+* :mod:`~repro.serve.shard` / :mod:`~repro.serve.router` — the sharded,
+  replicated tier (DESIGN.md §14): N :class:`~repro.serve.shard.ShardServer`
+  instances each pinning only the partitions they own, behind a
+  :class:`~repro.serve.router.ShardRouter` that routes point lookups,
+  fans out scans, replicates hot partitions, hedges stragglers and fails
+  over on shard death;
+* :class:`~repro.serve.sketch.SpaceSaving` — the bounded heavy-hitters
+  sketch that drives hot-key detection.
 """
 
-from repro.serve.fastpath import FastPathTemplate, recognize
+from repro.serve.fastpath import (
+    FastPathTemplate,
+    ScanTemplate,
+    recognize,
+    recognize_scan,
+)
 from repro.serve.ingest import IngestLoop
+from repro.serve.router import RouterConfig, RouterResult, ShardRouter
 from repro.serve.server import (
     QueryResult,
     QueryServer,
     ServeConfig,
     ServeRejected,
 )
+from repro.serve.shard import (
+    PartitionNotOwned,
+    RoutingTable,
+    ShardConfig,
+    ShardDown,
+    ShardServer,
+)
+from repro.serve.sketch import SpaceSaving
 from repro.serve.snapshot import PinnedSnapshot, SnapshotValidationError
 
 __all__ = [
     "FastPathTemplate",
     "IngestLoop",
+    "PartitionNotOwned",
     "PinnedSnapshot",
     "QueryResult",
     "QueryServer",
+    "RouterConfig",
+    "RouterResult",
+    "RoutingTable",
+    "ScanTemplate",
     "ServeConfig",
     "ServeRejected",
+    "ShardConfig",
+    "ShardDown",
+    "ShardRouter",
+    "ShardServer",
     "SnapshotValidationError",
+    "SpaceSaving",
     "recognize",
+    "recognize_scan",
 ]

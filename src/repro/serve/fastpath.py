@@ -91,30 +91,21 @@ class FastPathTemplate:
         self.limit = limit
         self.num_params = num_params
 
-    def execute(
-        self, snapshot: "PinnedSnapshot", params: "Iterable[Any] | None" = None
-    ) -> list[tuple]:
-        """Answer the query from ``snapshot`` on the calling thread."""
-        condition = self.condition
-        values = list(params) if params is not None else []
-        if len(values) != self.num_params:
-            raise ValueError(
-                f"statement takes {self.num_params} parameter(s), got {len(values)}"
-            )
-        if values:
-
-            def substitute(e: Expression) -> "Expression | None":
-                if isinstance(e, Parameter):
-                    return Literal(values[e.index])
-                return None
-
-            condition = condition.transform(substitute)
+    def bind(
+        self, params: "Iterable[Any] | None" = None
+    ) -> "tuple[list, Expression | None]":
+        """Substitute parameter values and split the condition into the
+        lookup keys and the residual predicate (``None`` when every conjunct
+        was consumed by the key constraint). The shard router calls this to
+        learn *which* keys a query needs before deciding where to send it."""
+        condition = _substitute_params(self.condition, params, self.num_params)
         keys, residual = extract_lookup_keys(condition, self.key_column)
         if keys is None:  # pragma: no cover - recognize() guarantees a key conjunct
             raise RuntimeError("fast-path template lost its key constraint")
-        rows: list[tuple] = []
-        for key in keys:
-            rows.extend(snapshot.lookup(key))
+        return list(keys), residual
+
+    def finish(self, rows: list[tuple], residual: "Expression | None") -> list[tuple]:
+        """Apply residual filter, projection and limit to looked-up rows."""
         if residual is not None:
             rows = [r for r in rows if residual.eval(r)]
         if self.projection is not None:
@@ -124,11 +115,149 @@ class FastPathTemplate:
             rows = rows[: self.limit]
         return rows
 
+    def execute(
+        self, snapshot: "PinnedSnapshot", params: "Iterable[Any] | None" = None
+    ) -> list[tuple]:
+        """Answer the query from ``snapshot`` on the calling thread."""
+        keys, residual = self.bind(params)
+        rows: list[tuple] = []
+        for key in keys:
+            rows.extend(snapshot.lookup(key))
+        return self.finish(rows, residual)
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"FastPathTemplate({self.view}, key={self.key_column}, "
             f"params={self.num_params})"
         )
+
+
+def _substitute_params(
+    condition: "Expression | None",
+    params: "Iterable[Any] | None",
+    num_params: int,
+) -> "Expression | None":
+    values = list(params) if params is not None else []
+    if len(values) != num_params:
+        raise ValueError(f"statement takes {num_params} parameter(s), got {len(values)}")
+    if condition is None or not values:
+        return condition
+
+    def substitute(e: Expression) -> "Expression | None":
+        if isinstance(e, Parameter):
+            return Literal(values[e.index])
+        return None
+
+    return condition.transform(substitute)
+
+
+class ScanTemplate:
+    """A compiled served-view scan: the shape the shard router *fans out*.
+
+    Everything :class:`FastPathTemplate` rejects only because the condition
+    does not pin the key — ``SELECT [cols] FROM view [WHERE pred] [LIMIT n]``
+    — still has a data-parallel answer: every partition evaluates ``pred``
+    over its rows independently and the results concatenate. The router
+    sends each shard the splits it owns and merges, which is how a scan
+    survives a dead shard (surviving replicas cover the splits)."""
+
+    __slots__ = ("condition", "limit", "num_params", "projection", "view")
+
+    def __init__(
+        self,
+        view: str,
+        condition: "Expression | None",
+        projection: "tuple[int, ...] | None",
+        limit: "int | None",
+        num_params: int,
+    ) -> None:
+        self.view = view
+        #: Ordinal-resolved predicate (None = unconditional scan); may
+        #: still contain :class:`Parameter` placeholders.
+        self.condition = condition
+        self.projection = projection
+        self.limit = limit
+        self.num_params = num_params
+
+    def bind(self, params: "Iterable[Any] | None" = None) -> "Expression | None":
+        """The row predicate with parameter values substituted (or None)."""
+        return _substitute_params(self.condition, params, self.num_params)
+
+    def finish(self, rows: list[tuple]) -> list[tuple]:
+        """Apply projection and limit to predicate-matched rows."""
+        if self.projection is not None:
+            ords = self.projection
+            rows = [tuple(r[i] for i in ords) for r in rows]
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ScanTemplate({self.view}, params={self.num_params})"
+
+
+def _match_served_relation(
+    plan: LogicalPlan, catalog: "Catalog", served_views: Iterable[str]
+) -> "tuple[str, IndexedRelation] | None":
+    """(view name, relation) when ``plan`` is the *currently registered*
+    IndexedRelation of one of ``served_views`` (identity match against the
+    catalog, so a template can never outlive its registration)."""
+    if not isinstance(plan, IndexedRelation):
+        return None
+    for name in served_views:
+        try:
+            if catalog.lookup(name) is plan:
+                return name, plan
+        except KeyError:
+            continue
+    return None
+
+
+def recognize_scan(
+    logical: LogicalPlan,
+    catalog: "Catalog",
+    served_views: Iterable[str],
+) -> "ScanTemplate | None":
+    """Compile ``logical`` to a fan-out scan template, or None (fall back).
+
+    Peels, outermost first: an optional ``Limit``, an optional all-plain-
+    column ``Project``, an optional ``Filter``, then requires the leaf to
+    be a served Indexed DataFrame. Call *after* :func:`recognize` — a query
+    that pins the key should route, not fan out.
+    """
+    limit: "int | None" = None
+    plan = logical
+    if isinstance(plan, Limit):
+        limit, plan = plan.n, plan.child
+    projected: "list[str] | None" = None
+    if isinstance(plan, Project):
+        projected = []
+        for e in plan.exprs:
+            if not isinstance(e, Column):
+                return None
+            projected.append(e.name)
+        plan = plan.child
+    raw_condition: "Expression | None" = None
+    if isinstance(plan, Filter):
+        raw_condition, plan = plan.condition, plan.child
+    matched = _match_served_relation(plan, catalog, served_views)
+    if matched is None:
+        return None
+    view, relation = matched
+    schema = relation.schema
+    try:
+        condition = (
+            resolve_expression(raw_condition, schema) if raw_condition is not None else None
+        )
+        projection = (
+            tuple(schema.index_of(n) for n in projected) if projected is not None else None
+        )
+    except (AnalysisError, KeyError):
+        return None
+    counter = [0]
+    if raw_condition is not None:
+        _count_params(raw_condition, counter)
+    return ScanTemplate(view, condition, projection, limit, counter[0])
 
 
 def recognize(
@@ -157,19 +286,12 @@ def recognize(
                 return None
             projected.append(e.name)
         plan = plan.child
-    if not isinstance(plan, Filter) or not isinstance(plan.child, IndexedRelation):
+    if not isinstance(plan, Filter):
         return None
-    relation = plan.child
-    view = None
-    for name in served_views:
-        try:
-            if catalog.lookup(name) is relation:
-                view = name
-                break
-        except KeyError:
-            continue
-    if view is None:
+    matched = _match_served_relation(plan.child, catalog, served_views)
+    if matched is None:
         return None
+    view, relation = matched
     key_column = relation.idf.key_column
     if not _constrains_key(plan.condition, key_column):
         return None

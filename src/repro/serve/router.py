@@ -1,0 +1,757 @@
+"""ShardRouter: the front end of the sharded, replicated serve tier.
+
+DESIGN.md §14. The router owns the control plane the shards deliberately
+don't have:
+
+* **Routing.** A query is recognized (via the plan cache) as a *point*
+  template (single-key ``=`` / ``IN``), a *scan* template, or neither.
+  Point keys route ``key -> split`` through the engine's hash partitioner
+  and ``split -> shard`` through the :class:`~repro.serve.shard.RoutingTable`;
+  scans fan out one live replica per split and merge; everything else
+  falls back to the session's general pipeline.
+* **Failover.** Shard health is a tiny state machine (ALIVE → SUSPECT →
+  DEAD) driven by heartbeats and by :class:`~repro.serve.shard.ShardDown`
+  observed on the data path. A dead shard's traffic moves to the next
+  live replica mid-query — the client sees a normal answer, plus
+  ``serve_shard_failovers_total`` ticking. When *every* replica of a
+  partition is dead the router degrades gracefully: partial rows with an
+  explicit ``degraded`` flag and the missing partitions listed, never a
+  silent wrong answer.
+* **Hedged retries.** A straggling shard (chaos, GC pause, overload) is
+  hedged: after ``hedge_delay`` seconds the same lookup is sent to a
+  replica and the first answer wins. Hedges draw from a budget
+  (``hedge_budget_fraction`` of requests, like PR 2's speculation budget)
+  so a misconfigured delay cannot double the fleet's load.
+* **Hot keys.** Every routed key feeds a :class:`~repro.serve.sketch.SpaceSaving`
+  popularity sketch. Keys the sketch calls hot are admitted to a small
+  router-side **hot-row cache** (version-tagged, so a republish invalidates
+  it wholesale), and partitions absorbing hot traffic are **replicated
+  R-ways** so skewed (Zipf) load spreads over R service locks instead of
+  melting the primary — the HMEM-Cache power-law play (SNIPPETS.md).
+* **Shedding.** Shards shed with retryable ``shard_overloaded`` rejections
+  when their inflight gate fills; the router tries the other replicas
+  first, then surfaces the rejection to the client's retry loop.
+
+Consistency: shards of one view always serve the same pinned MVCC version.
+``publish`` is a barrier — it waits out in-flight queries, installs the new
+version's partitions on every live shard, and only then admits new queries
+— so a fan-out can never stitch two versions together. (Per-shard
+incremental republish would relax this; the barrier keeps the zero-wrong-
+answers contract trivially auditable.)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.serve.fastpath import (
+    FastPathTemplate,
+    ScanTemplate,
+    recognize,
+    recognize_scan,
+)
+from repro.serve.server import ServeRejected
+from repro.serve.shard import (
+    PartitionNotOwned,
+    RoutingTable,
+    ShardConfig,
+    ShardDown,
+    ShardServer,
+)
+from repro.serve.sketch import SpaceSaving
+from repro.serve.snapshot import PinnedSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.indexed.indexed_dataframe import IndexedDataFrame
+    from repro.sql.session import Session
+
+#: ``CachedPlan.route_path`` marker: recognition ran and matched nothing.
+_NO_ROUTE = object()
+
+#: Shard health states (the failover state machine).
+ALIVE, SUSPECT, DEAD = "alive", "suspect", "dead"
+
+
+@dataclass
+class RouterConfig:
+    """Routing-tier tunables (shard-local ones live on :class:`ShardConfig`)."""
+
+    #: Baseline replicas per partition (>= 2 survives any single shard death).
+    replication_factor: int = 2
+    #: Replicas a *hot* partition is grown to; 0 = every shard.
+    hot_replication_factor: int = 0
+    #: Sketch count at which a key is hot enough for the hot-row cache.
+    hot_key_min_count: int = 16
+    #: Sketch count at which a key's partition is promoted (replicated).
+    hot_promotion_min_count: int = 64
+    #: SpaceSaving monitored-key capacity.
+    sketch_capacity: int = 512
+    #: Hot-row cache entries (0 disables the cache).
+    hot_cache_capacity: int = 256
+    enable_hot_cache: bool = True
+    enable_hot_promotion: bool = True
+    #: Seconds to wait on the primary before hedging a lookup to a replica
+    #: (0.0 disables hedging and keeps every lookup on the caller thread).
+    hedge_delay: float = 0.0
+    #: Hedges allowed as a fraction of routed lookups (the hedge budget).
+    hedge_budget_fraction: float = 0.1
+    #: Consecutive failed heartbeats before a SUSPECT shard is declared
+    #: DEAD (a ShardDown observed on the data path skips straight to DEAD).
+    heartbeat_misses_to_dead: int = 2
+    #: Re-replicate a dead shard's partitions from surviving replicas as
+    #: soon as the death is declared (restores the replication factor).
+    auto_repair: bool = True
+    #: Threads for hedges and scan fan-out.
+    pool_workers: int = 8
+    #: Per-shard tunables applied to every shard the router builds.
+    shard: ShardConfig = field(default_factory=ShardConfig)
+
+
+@dataclass
+class RouterResult:
+    """One answered (possibly partial) routed query."""
+
+    rows: list[tuple]
+    #: "point" | "scan" | "general"
+    path: str
+    #: Pinned MVCC version served (None for the general pipeline).
+    snapshot_version: "int | None"
+    #: True when some partition had no live replica: ``rows`` is the answer
+    #: over the surviving partitions only, never silently wrong.
+    degraded: bool = False
+    #: Splits that had no live replica (empty unless degraded).
+    missing_partitions: list[int] = field(default_factory=list)
+    #: Replica fail-overs this query performed mid-flight.
+    failovers: int = 0
+    #: True when at least one lookup was hedged to a replica.
+    hedged: bool = False
+    #: True when every requested key was served from the hot-row cache.
+    from_hot_cache: bool = False
+    total_seconds: float = 0.0
+
+
+class _ViewState:
+    """Router-side control data for one served view."""
+
+    __slots__ = ("idf", "partitioner", "table", "version")
+
+    def __init__(self, idf: "IndexedDataFrame", version: int, table: RoutingTable) -> None:
+        self.idf = idf
+        self.version = version
+        self.partitioner = idf.partitioner
+        self.table = table
+
+
+class _HotRowCache:
+    """Tiny LRU of (view, key) -> (version, rows); version-tagged entries
+    make republish invalidation free (stale versions simply miss)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, tuple[int, list[tuple]]] = {}
+        self._order: list = []  # cheap LRU: move-to-end on hit
+
+    def get(self, view: str, key: Any, version: int) -> "list[tuple] | None":
+        if self.capacity <= 0:
+            return None
+        ck = (view, key)
+        with self._lock:
+            entry = self._entries.get(ck)
+            if entry is None or entry[0] != version:
+                return None
+            return entry[1]
+
+    def put(self, view: str, key: Any, version: int, rows: list[tuple]) -> None:
+        if self.capacity <= 0:
+            return
+        ck = (view, key)
+        with self._lock:
+            if ck not in self._entries and len(self._entries) >= self.capacity:
+                victim = self._order.pop(0)
+                self._entries.pop(victim, None)
+            if ck in self._entries:
+                try:
+                    self._order.remove(ck)
+                except ValueError:  # pragma: no cover
+                    pass
+            self._entries[ck] = (version, rows)
+            self._order.append(ck)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class ShardRouter:
+    """Sharded serving front end over one session (see module docstring)."""
+
+    def __init__(
+        self,
+        session: "Session",
+        num_shards: int,
+        config: "RouterConfig | None" = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.session = session
+        self.context = session.context
+        self.config = config or RouterConfig()
+        self.registry = self.context.registry
+        self.shards = [
+            ShardServer(i, self.context, self.config.shard) for i in range(num_shards)
+        ]
+        self._health = [ALIVE] * num_shards
+        self._heartbeat_misses = [0] * num_shards
+        self._views: dict[str, _ViewState] = {}
+        self.sketch = SpaceSaving(self.config.sketch_capacity)
+        self.hot_cache = _HotRowCache(
+            self.config.hot_cache_capacity if self.config.enable_hot_cache else 0
+        )
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(2, self.config.pool_workers),
+            thread_name_prefix="shard-router",
+        )
+        self._admin_lock = threading.RLock()
+        self._gate = threading.Condition()
+        self._active_queries = 0
+        self._publishing = False
+        self._route_ops = itertools.count()
+        self._lookups = 0
+        self._hedges = 0
+        self._rr = itertools.count()
+        self._closed = False
+
+    # -- publishing --------------------------------------------------------------------
+
+    def publish(self, view: str, idf: "IndexedDataFrame") -> None:
+        """Pin ``idf`` (one lineage-safe job) and atomically make it the
+        served version of ``view`` on every live shard."""
+        pin = PinnedSnapshot.pin(idf)  # outside the barrier: may rebuild partitions
+        with self._admin_lock, self._publish_barrier():
+            idf.create_or_replace_temp_view(view)
+            state = self._views.get(view)
+            if state is not None and state.table.num_partitions == idf.num_partitions:
+                table = state.table  # keep hot promotions across republish
+            else:
+                table = RoutingTable(
+                    idf.num_partitions, len(self.shards), self.config.replication_factor
+                )
+            self._views[view] = _ViewState(idf, pin.version, table)
+            for shard in self.shards:
+                if not shard.alive:
+                    continue
+                splits = table.splits_owned_by(shard.shard_id)
+                shard.install(
+                    view,
+                    pin.version,
+                    idf.partitioner,
+                    {s: pin.partitions[s] for s in splits},
+                )
+        self.registry.set_gauge("serve_router_version", float(pin.version), view=view)
+
+    def pinned(self, view: str) -> _ViewState:
+        """The served state of ``view`` (duck-compatible with
+        :meth:`QueryServer.pinned` for ingest loops: has ``.idf``)."""
+        return self._views[view]
+
+    def views(self) -> list[str]:
+        return sorted(self._views)
+
+    def routing_table(self, view: str) -> dict[int, list[int]]:
+        return self._views[view].table.as_dict()
+
+    # -- client surface ----------------------------------------------------------------
+
+    def query(
+        self, text: str, params: "Sequence[Any] | None" = None
+    ) -> RouterResult:
+        """Route one query; may raise a retryable :class:`ServeRejected`."""
+        if self._closed:
+            raise ServeRejected("shutdown", retryable=False)
+        self._inject_chaos()
+        t0 = time.perf_counter()
+        with self._query_slot():
+            result = self._dispatch(text, params)
+        result.total_seconds = time.perf_counter() - t0
+        self.registry.inc("serve_router_queries_total", path=result.path)
+        self.registry.observe(
+            "serve_router_latency_seconds", result.total_seconds, path=result.path
+        )
+        if result.degraded:
+            self.registry.inc("serve_degraded_results_total")
+        return result
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- health / failover -------------------------------------------------------------
+
+    def live_shards(self) -> list[int]:
+        return [i for i, h in enumerate(self._health) if h != DEAD and self.shards[i].alive]
+
+    def shard_states(self) -> dict[int, str]:
+        return {i: h for i, h in enumerate(self._health)}
+
+    def check_health(self) -> dict[int, str]:
+        """Heartbeat every shard, advancing the ALIVE → SUSPECT → DEAD
+        state machine; declares (and repairs) deaths it discovers."""
+        for i, shard in enumerate(self.shards):
+            if self._health[i] == DEAD:
+                continue
+            try:
+                shard.heartbeat()
+            except ShardDown:
+                with self._admin_lock:
+                    self._heartbeat_misses[i] += 1
+                    if (
+                        self._heartbeat_misses[i] >= self.config.heartbeat_misses_to_dead
+                        or self._health[i] == SUSPECT
+                    ):
+                        self._declare_dead(i, "missed heartbeats")
+                    else:
+                        self._health[i] = SUSPECT
+                        self.registry.inc("serve_shard_suspects_total", shard=i)
+            else:
+                with self._admin_lock:
+                    self._heartbeat_misses[i] = 0
+                    if self._health[i] == SUSPECT:
+                        self._health[i] = ALIVE
+        return self.shard_states()
+
+    def kill_shard(self, shard_id: int, reason: str = "manual") -> None:
+        """Crash a shard (the kill-one-shard scenario's entry point)."""
+        self.shards[shard_id].kill()
+        self._declare_dead(shard_id, reason)
+
+    def recover_shard(self, shard_id: int) -> None:
+        """Restart a dead shard and re-install its owned partitions —
+        copied from live replicas when possible, re-pinned from lineage
+        (one job per view) when a partition has no live copy."""
+        with self._admin_lock:
+            shard = self.shards[shard_id]
+            shard.restore()
+            for view, state in self._views.items():
+                splits = state.table.splits_owned_by(shard_id)
+                parts = self._partitions_for(view, state, splits)
+                shard.install(view, state.version, state.partitioner, parts)
+            self._health[shard_id] = ALIVE
+            self._heartbeat_misses[shard_id] = 0
+        self.context.metrics.record_recovery(
+            "shard_recovered", detail=f"shard={shard_id}"
+        )
+
+    def repair(self, view: "str | None" = None) -> int:
+        """Restore the replication factor after deaths by copying partitions
+        from surviving replicas onto under-replicated shards; returns the
+        number of (split, shard) installs performed."""
+        installed = 0
+        with self._admin_lock:
+            live = set(self.live_shards())
+            if not live:
+                return 0
+            views = [view] if view is not None else list(self._views)
+            for name in views:
+                state = self._views[name]
+                table = state.table
+                per_shard: dict[int, dict[int, Any]] = {}
+                for split in range(table.num_partitions):
+                    owners = table.replicas(split)
+                    live_owners = [s for s in owners if s in live]
+                    if not live_owners or len(live_owners) >= table.replication_factor:
+                        continue
+                    source = self.shards[live_owners[0]].snapshot(name).parts.get(split)
+                    if source is None:  # pragma: no cover - install raced a kill
+                        continue
+                    candidates = sorted(live - set(owners))
+                    for target in candidates[
+                        : table.replication_factor - len(live_owners)
+                    ]:
+                        table.add_replica(split, target)
+                        per_shard.setdefault(target, {})[split] = source
+                        installed += 1
+                for target, parts in per_shard.items():
+                    self.shards[target].install_partitions(name, parts)
+        if installed:
+            self.context.metrics.record_recovery(
+                "shard_repaired", detail=f"installs={installed}"
+            )
+        return installed
+
+    # -- internals: admission & chaos ---------------------------------------------------
+
+    @contextmanager
+    def _query_slot(self) -> Iterator[None]:
+        with self._gate:
+            while self._publishing:
+                self._gate.wait()
+            self._active_queries += 1
+        try:
+            yield
+        finally:
+            with self._gate:
+                self._active_queries -= 1
+                if self._active_queries == 0:
+                    self._gate.notify_all()
+
+    @contextmanager
+    def _publish_barrier(self) -> Iterator[None]:
+        with self._gate:
+            while self._publishing:
+                self._gate.wait()
+            self._publishing = True
+            while self._active_queries:
+                self._gate.wait()
+        try:
+            yield
+        finally:
+            with self._gate:
+                self._publishing = False
+                self._gate.notify_all()
+
+    def _inject_chaos(self) -> None:
+        victim = self.context.faults.on_shard_route(
+            next(self._route_ops), len(self.shards)
+        )
+        if victim is not None and self.shards[victim].alive:
+            self.context.metrics.record_recovery(
+                "chaos_shard_kill", detail=f"shard={victim}"
+            )
+            self.kill_shard(victim, reason="chaos")
+
+    def _declare_dead(self, shard_id: int, reason: str) -> None:
+        with self._admin_lock:
+            already = self._health[shard_id] == DEAD
+            self._health[shard_id] = DEAD
+        if already:
+            return
+        self.context.metrics.record_recovery(
+            "shard_lost", detail=f"shard={shard_id}: {reason}"
+        )
+        if self.config.auto_repair:
+            self.repair()
+
+    # -- internals: recognition ---------------------------------------------------------
+
+    def _dispatch(self, text: str, params: "Sequence[Any] | None") -> RouterResult:
+        session = self.session
+        if params is not None:
+            statement = session.prepare(text)
+            logical = statement.template
+        else:
+            statement = None
+            logical = session.sql_logical(text)
+        route = self._route_for(logical)
+        if isinstance(route, FastPathTemplate):
+            return self._run_point(route, params)
+        if isinstance(route, ScanTemplate):
+            return self._run_scan(route, params)
+        if statement is not None:
+            rows = statement.execute(params)
+        else:
+            rows = session.execute(logical)
+        return RouterResult(rows, "general", None)
+
+    def _route_for(self, logical: Any) -> Any:
+        """Memoized routing decision for a logical plan (plan-cache entry
+        carries it, so catalog-epoch invalidation applies)."""
+        entry = self.session.plan_cache.entry_for_logical(logical)
+        if entry is not None and entry.route_path is not None:
+            return None if entry.route_path is _NO_ROUTE else entry.route_path
+        views = list(self._views)
+        template: Any = recognize(logical, self.session.catalog, views)
+        if template is None:
+            template = recognize_scan(logical, self.session.catalog, views)
+        if entry is not None:
+            entry.route_path = template if template is not None else _NO_ROUTE
+        return template
+
+    # -- internals: point path ----------------------------------------------------------
+
+    def _run_point(
+        self, template: FastPathTemplate, params: "Sequence[Any] | None"
+    ) -> RouterResult:
+        state = self._views[template.view]
+        keys, residual = template.bind(params)
+        rows: list[tuple] = []
+        missing: list[int] = []
+        failovers = 0
+        hedged = False
+        all_cached = bool(keys)
+        for key in keys:
+            key_rows, meta = self._lookup_key(template.view, state, key)
+            failovers += meta["failovers"]
+            hedged = hedged or meta["hedged"]
+            all_cached = all_cached and meta["cached"]
+            if key_rows is None:
+                missing.append(meta["split"])
+            else:
+                rows.extend(key_rows)
+        return RouterResult(
+            template.finish(rows, residual),
+            "point",
+            state.version,
+            degraded=bool(missing),
+            missing_partitions=sorted(set(missing)),
+            failovers=failovers,
+            hedged=hedged,
+            from_hot_cache=all_cached,
+        )
+
+    def _lookup_key(
+        self, view: str, state: _ViewState, key: Any
+    ) -> "tuple[list[tuple] | None, dict]":
+        """Route one key: hot cache, then replicas with hedging/failover.
+
+        Returns (rows | None-if-no-live-replica, meta).
+        """
+        meta = {"failovers": 0, "hedged": False, "cached": False, "split": -1}
+        count = self.sketch.offer(key)
+        hot = count >= self.config.hot_key_min_count
+        split = state.partitioner.partition(key)
+        meta["split"] = split
+        if (
+            self.config.enable_hot_promotion
+            and count >= self.config.hot_promotion_min_count
+        ):
+            self._maybe_promote(view, state, split)
+        if hot:
+            cached = self.hot_cache.get(view, key, state.version)
+            if cached is not None:
+                self.registry.inc("serve_hot_cache_hits_total")
+                meta["cached"] = True
+                return cached, meta
+        self._lookups += 1
+        candidates = [s for s in state.table.replicas(split) if self._usable(s)]
+        # Rotate across replicas so one hot key spreads over all its copies.
+        if len(candidates) > 1:
+            start = next(self._rr) % len(candidates)
+            candidates = candidates[start:] + candidates[:start]
+        rows, fo, did_hedge = self._call_replicas(view, key, candidates)
+        meta["failovers"] = fo
+        meta["hedged"] = did_hedge
+        if rows is None:
+            # Candidates list may have been stale; one more look post-failover.
+            retry = [s for s in state.table.replicas(split) if self._usable(s)]
+            if retry:
+                rows, fo2, _ = self._call_replicas(view, key, retry)
+                meta["failovers"] += fo2
+        if rows is not None and hot:
+            self.hot_cache.put(view, key, state.version, rows)
+        return rows, meta
+
+    def _usable(self, shard_id: int) -> bool:
+        return self._health[shard_id] != DEAD and self.shards[shard_id].alive
+
+    def _call_replicas(
+        self, view: str, key: Any, candidates: list[int]
+    ) -> "tuple[list[tuple] | None, int, bool]":
+        """Try replicas in order; hedge the first when allowed. Returns
+        (rows | None when every candidate is dead, failovers, hedged)."""
+        failovers = 0
+        hedged = False
+        shed: "ServeRejected | None" = None
+        idx = 0
+        while idx < len(candidates):
+            shard_id = candidates[idx]
+            if not self._usable(shard_id):
+                idx += 1
+                continue
+            use_hedge = (
+                self.config.hedge_delay > 0
+                and idx + 1 < len(candidates)
+                and self._hedge_budget_ok()
+            )
+            try:
+                if use_hedge:
+                    rows, hedged_now = self._hedged_call(
+                        view, key, shard_id, candidates[idx + 1]
+                    )
+                    hedged = hedged or hedged_now
+                else:
+                    rows = self.shards[shard_id].lookup(view, key)
+                return rows, failovers, hedged
+            except ShardDown as exc:
+                self._declare_dead(exc.shard_id, "observed on lookup")
+                self.registry.inc("serve_shard_failovers_total")
+                self.context.metrics.record_recovery(
+                    "shard_failover", detail=f"shard={exc.shard_id} key={key!r}"
+                )
+                failovers += 1
+                idx += 1
+            except PartitionNotOwned:
+                failovers += 1
+                idx += 1
+            except ServeRejected as exc:
+                shed = exc
+                idx += 1
+        if shed is not None:
+            raise shed
+        return None, failovers, hedged
+
+    def _hedge_budget_ok(self) -> bool:
+        budget = int(self._lookups * self.config.hedge_budget_fraction) + 1
+        return self._hedges < budget
+
+    def _hedged_call(
+        self, view: str, key: Any, primary: int, backup: int
+    ) -> tuple[list[tuple], bool]:
+        """Primary lookup with a budgeted hedge to ``backup``; first answer
+        wins. Raises ShardDown only when *both* attempts failed that way."""
+        futures = {self._pool.submit(self.shards[primary].lookup, view, key): primary}
+        try:
+            done, _ = concurrent.futures.wait(
+                futures, timeout=self.config.hedge_delay
+            )
+            if not done:
+                self._hedges += 1
+                self.registry.inc("serve_hedged_requests_total")
+                futures[
+                    self._pool.submit(self.shards[backup].lookup, view, key)
+                ] = backup
+            pending = set(futures)
+            last_exc: "BaseException | None" = None
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for fut in done:
+                    exc = fut.exception()
+                    if exc is None:
+                        if futures[fut] != primary:
+                            self.registry.inc("serve_hedge_wins_total")
+                        return fut.result(), len(futures) > 1
+                    last_exc = exc
+                    if isinstance(exc, ShardDown):
+                        self._declare_dead(exc.shard_id, "observed on hedged lookup")
+            assert last_exc is not None
+            raise last_exc
+        finally:
+            # Abandoned losers run to completion on the pool; their answers
+            # (from immutable snapshots) are simply dropped.
+            pass
+
+    # -- internals: scan path -----------------------------------------------------------
+
+    def _run_scan(
+        self, template: ScanTemplate, params: "Sequence[Any] | None"
+    ) -> RouterResult:
+        state = self._views[template.view]
+        predicate = template.bind(params)
+        remaining = list(range(state.table.num_partitions))
+        rows: list[tuple] = []
+        missing: list[int] = []
+        failovers = 0
+        rounds = 0
+        while remaining and rounds <= len(self.shards):
+            rounds += 1
+            live = set(self.live_shards())
+            assignment, no_replica = state.table.scan_assignment(remaining, live)
+            missing.extend(no_replica)
+            if not assignment:
+                break
+            futures = {
+                self._pool.submit(
+                    self.shards[shard_id].scan, template.view, splits, predicate
+                ): (shard_id, splits)
+                for shard_id, splits in assignment.items()
+            }
+            remaining = []
+            for fut in concurrent.futures.as_completed(futures):
+                shard_id, splits = futures[fut]
+                try:
+                    rows.extend(fut.result())
+                except ShardDown as exc:
+                    self._declare_dead(exc.shard_id, "observed on scan")
+                    self.registry.inc("serve_shard_failovers_total")
+                    self.context.metrics.record_recovery(
+                        "shard_failover", detail=f"shard={exc.shard_id} scan"
+                    )
+                    failovers += 1
+                    remaining.extend(splits)
+                except PartitionNotOwned as exc:
+                    failovers += 1
+                    remaining.extend(splits)
+        missing.extend(remaining)
+        return RouterResult(
+            template.finish(rows),
+            "scan",
+            state.version,
+            degraded=bool(missing),
+            missing_partitions=sorted(set(missing)),
+            failovers=failovers,
+        )
+
+    # -- internals: promotion & sourcing ------------------------------------------------
+
+    def _maybe_promote(self, view: str, state: _ViewState, split: int) -> None:
+        table = state.table
+        target = self.config.hot_replication_factor or len(self.shards)
+        if len(table.replicas(split)) >= min(target, len(self.shards)):
+            return
+        with self._admin_lock:
+            live_owners = [s for s in table.replicas(split) if self._usable(s)]
+            if not live_owners:
+                return
+            source = self.shards[live_owners[0]].snapshot(view).parts.get(split)
+            if source is None:  # pragma: no cover - promotion raced a kill
+                return
+            added = table.promote(split, target)
+            for shard_id in added:
+                if self._usable(shard_id):
+                    self.shards[shard_id].install_partitions(view, {split: source})
+        if added:
+            self.registry.inc("serve_hot_promotions_total")
+            self.context.metrics.record_recovery(
+                "hot_partition_replicated",
+                partition=split,
+                detail=f"view={view} replicas={len(table.replicas(split))}",
+            )
+
+    def _partitions_for(
+        self, view: str, state: _ViewState, splits: list[int]
+    ) -> dict[int, Any]:
+        """Partition objects for ``splits``: copied from live replicas when
+        possible, re-pinned from lineage (one job) otherwise."""
+        parts: dict[int, Any] = {}
+        wanted = set(splits)
+        for shard in self.shards:
+            if not wanted:
+                break
+            if not shard.alive:
+                continue
+            try:
+                snap = shard.snapshot(view)
+            except PartitionNotOwned:
+                continue
+            for split in list(wanted):
+                part = snap.parts.get(split)
+                if part is not None and part.version == state.version:
+                    parts[split] = part
+                    wanted.discard(split)
+        if wanted:
+            pin = PinnedSnapshot.pin(state.idf)
+            for split in wanted:
+                parts[split] = pin.partitions[split]
+        return parts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ShardRouter(shards={len(self.shards)}, live={self.live_shards()}, "
+            f"views={self.views()})"
+        )

@@ -102,7 +102,15 @@ class QueryResult:
 
 
 class QueryTicket:
-    """Future for one admitted query."""
+    """Future for one admitted query.
+
+    Expiry is two-sided: a worker that dequeues an expired ticket sheds it,
+    and a *client* blocked in :meth:`result` past the ticket's deadline
+    fails it too (``_expire_if_queued``) instead of waiting out a stalled
+    queue. Claiming is the arbiter: whoever flips ``_claimed`` first —
+    worker or expiring client — owns the ticket's outcome, so a worker can
+    never start a query the client already wrote off.
+    """
 
     def __init__(self, text: str, params: "Sequence[Any] | None", deadline: float) -> None:
         self.text = text
@@ -112,6 +120,10 @@ class QueryTicket:
         self._done = threading.Event()
         self._result: "QueryResult | None" = None
         self._error: "BaseException | None" = None
+        self._claim_lock = threading.Lock()
+        self._claimed = False
+        #: Server hook building the deadline rejection (counts metrics).
+        self._on_expire: "Callable[[float], ServeRejected] | None" = None
 
     def _complete(self, result: QueryResult) -> None:
         self._result = result
@@ -121,14 +133,57 @@ class QueryTicket:
         self._error = error
         self._done.set()
 
+    def _try_claim(self) -> bool:
+        """Worker-side: take ownership; False when the ticket was already
+        expired/rejected while queued."""
+        with self._claim_lock:
+            if self._claimed or self._done.is_set():
+                return False
+            self._claimed = True
+            return True
+
+    def _expire_if_queued(self) -> bool:
+        """Client-side: fail a still-queued ticket whose deadline passed
+        with a retryable deadline rejection; False when a worker already
+        owns it (the query is running — deadline no longer applies)."""
+        with self._claim_lock:
+            if self._claimed or self._done.is_set():
+                return False
+            self._claimed = True
+            queued = time.perf_counter() - self.enqueued_at
+            if self._on_expire is not None:
+                self._error = self._on_expire(queued)
+            else:
+                self._error = ServeRejected("deadline", f"queued {queued:.3f}s")
+            self._done.set()
+            return True
+
     @property
     def done(self) -> bool:
         return self._done.is_set()
 
     def result(self, timeout: "float | None" = None) -> QueryResult:
-        """Block for the answer; re-raises rejections and query errors."""
-        if not self._done.wait(timeout):
-            raise TimeoutError(f"query still running after {timeout}s: {self.text!r}")
+        """Block for the answer; re-raises rejections and query errors.
+
+        A ticket whose deadline expires while it is still *queued* raises
+        the same retryable ``ServeRejected("deadline")`` the worker-side
+        shed would have produced — never a bare timeout the client cannot
+        distinguish from a slow query.
+        """
+        expire_at = self.enqueued_at + self.deadline
+        end_at = None if timeout is None else time.perf_counter() + timeout
+        while not self._done.is_set():
+            now = time.perf_counter()
+            if end_at is not None and now >= end_at:
+                raise TimeoutError(
+                    f"query still running after {timeout}s: {self.text!r}"
+                )
+            if now >= expire_at and self._expire_if_queued():
+                break
+            waits = [] if self._claimed else [expire_at - now]
+            if end_at is not None:
+                waits.append(end_at - now)
+            self._done.wait(max(min(waits), 0.0) if waits else None)
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -210,6 +265,9 @@ class QueryServer:
         ticket = QueryTicket(
             text, params, deadline if deadline is not None else self.config.default_deadline
         )
+        ticket._on_expire = lambda queued: self._reject(
+            "deadline", f"queued {queued:.3f}s"
+        )
         self._queue.put(ticket)
         self.registry.set_gauge("serve_queue_depth", float(self._queue.qsize()))
         return ticket
@@ -236,7 +294,7 @@ class QueryServer:
                     item = self._queue.get_nowait()
                 except queue.Empty:
                     break
-                if isinstance(item, QueryTicket):
+                if isinstance(item, QueryTicket) and item._try_claim():
                     item._fail(self._reject("shutdown", retryable=False))
                 self._queue.task_done()
         for _ in self._workers:
@@ -272,6 +330,8 @@ class QueryServer:
                 self._queue.task_done()
 
     def _run(self, ticket: QueryTicket) -> None:
+        if not ticket._try_claim():
+            return  # expired (or shed) while queued; the client already knows
         queued = time.perf_counter() - ticket.enqueued_at
         if queued > ticket.deadline:
             ticket._fail(self._reject("deadline", f"queued {queued:.3f}s"))

@@ -1,0 +1,92 @@
+"""Per-key popularity sketch (SpaceSaving) for hot-key-aware serving.
+
+Serving traffic is power-law distributed — the assumption the HugeCTR
+HMEM-Cache design is built on (SNIPPETS.md): a small set of keys absorbs
+most of the load, so a cache sized for a fraction of the keyspace captures
+most requests. The router needs to *find* that set online, in bounded
+memory, from a stream of millions of user ids. :class:`SpaceSaving`
+(Metwally et al.'s heavy-hitters algorithm) does exactly that: it tracks at
+most ``capacity`` counters; an unmonitored key evicts the minimum counter
+and inherits its count (as overestimation ``error``), which guarantees any
+key with true frequency above ``total / capacity`` is monitored.
+
+Three consumers in :mod:`repro.serve.router`:
+
+* the **hot-row cache** admits only keys the sketch calls hot (so one-hit
+  wonders cannot churn it);
+* **hot-partition replication** promotes a partition when the sketch shows
+  its keys absorbing a disproportionate share of traffic;
+* per-shard **load shedding** stays honest: shedding decisions can consult
+  popularity instead of arrival order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable
+
+
+class SpaceSaving:
+    """Bounded heavy-hitters counter (thread-safe).
+
+    ``offer(key)`` records one observation and returns the key's estimated
+    count. Estimates never undercount: an evicted-and-readmitted key's
+    count includes the inherited error, which is the safe direction for a
+    hot-key detector (false positives cost a little cache churn; false
+    negatives melt a shard).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        self.total = 0
+
+    def offer(self, key: Hashable, weight: int = 1) -> int:
+        with self._lock:
+            self.total += weight
+            count = self._counts.get(key)
+            if count is not None:
+                count += weight
+                self._counts[key] = count
+                return count
+            if len(self._counts) < self.capacity:
+                self._counts[key] = weight
+                self._errors[key] = 0
+                return weight
+            victim = min(self._counts, key=self._counts.get)  # type: ignore[arg-type]
+            floor = self._counts.pop(victim)
+            self._errors.pop(victim, None)
+            self._counts[key] = floor + weight
+            self._errors[key] = floor
+            return floor + weight
+
+    def count(self, key: Hashable) -> int:
+        """Estimated count (0 when unmonitored — i.e. provably not hot)."""
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def guaranteed_count(self, key: Hashable) -> int:
+        """Lower bound on the true count (estimate minus inherited error)."""
+        with self._lock:
+            return self._counts.get(key, 0) - self._errors.get(key, 0)
+
+    def top(self, n: int) -> list[tuple[Any, int]]:
+        """The ``n`` hottest monitored keys, hottest first."""
+        with self._lock:
+            ordered = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ordered[:n]
+
+    def is_hot(self, key: Hashable, min_count: int) -> bool:
+        """True when ``key``'s estimated count has reached ``min_count``."""
+        return self.count(key) >= min_count
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SpaceSaving(monitored={len(self)}/{self.capacity}, total={self.total})"

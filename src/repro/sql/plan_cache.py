@@ -56,7 +56,16 @@ def normalize_sql(text: str) -> str:
 class CachedPlan:
     """One cache entry: the plans derived from one normalized query text."""
 
-    __slots__ = ("epoch", "fast_path", "hits", "logical", "num_params", "physical", "text")
+    __slots__ = (
+        "epoch",
+        "fast_path",
+        "hits",
+        "logical",
+        "num_params",
+        "physical",
+        "route_path",
+        "text",
+    )
 
     def __init__(self, text: str, epoch: int, logical: "LogicalPlan", num_params: int = 0):
         self.text = text
@@ -68,6 +77,11 @@ class CachedPlan:
         #: Filled in by the serving layer when the plan compiles to a
         #: snapshot-pinned point lookup (repro.serve.fastpath).
         self.fast_path: Any = None
+        #: Filled in by the shard router: its memoized routing decision for
+        #: this plan (point/scan template or a negative marker). Separate
+        #: from ``fast_path`` so one session can back both a single-server
+        #: QueryServer and a ShardRouter without clobbering each other.
+        self.route_path: Any = None
         self.hits = 0
 
 

@@ -195,6 +195,37 @@ class TestAdmission:
         assert exc_info.value.retryable
         server.shutdown()
 
+    def test_deadline_expiry_while_queued_unblocks_client(self):
+        """Regression: a client blocked in ``result()`` on a ticket whose
+        deadline expires while it is still *queued* must get the retryable
+        deadline rejection immediately — not sit out its full timeout
+        behind a stalled worker."""
+        session, _, server = make_server(serve=ServeConfig(num_workers=1))
+        blocker = session.context.job_lock
+        blocker.acquire()  # the single worker wedges on the general path
+        try:
+            running = server.submit("SELECT * FROM users WHERE score > -1")
+            stale = server.submit("SELECT * FROM users WHERE uid = 1", deadline=0.05)
+            t0 = time.perf_counter()
+            with pytest.raises(ServeRejected) as exc_info:
+                stale.result(timeout=30.0)  # worker is still wedged
+            waited = time.perf_counter() - t0
+            assert exc_info.value.reason == "deadline"
+            assert exc_info.value.retryable
+            assert waited < 5.0, "client waited out the timeout, not the deadline"
+        finally:
+            blocker.release()
+        assert running.result(timeout=30.0).path == "general"
+        server.shutdown()
+        # The worker dequeues the expired ticket and skips it: exactly one
+        # deadline rejection was recorded, by the client-side expiry.
+        assert (
+            session.context.registry.counter_value(
+                "serve_rejections_total", reason="deadline"
+            )
+            == 1
+        )
+
     def test_memory_pressure_shedding_via_probe(self):
         pressure = [0.0]
         session, _, server = make_server(
@@ -243,6 +274,65 @@ class TestAdmission:
             server.submit("SELECT * FROM users WHERE uid = 1")
         assert exc_info.value.reason == "shutdown"
         assert not exc_info.value.retryable
+
+
+class TestShutdownDrain:
+    """``shutdown(drain=True)`` with queries in flight: every ticket must
+    resolve — completed or rejected — under every scheduler mode. A ticket
+    left permanently pending is a hung client."""
+
+    @pytest.mark.parametrize("mode", ["sequential", "threads", "processes"])
+    def test_drain_resolves_every_inflight_ticket(self, mode):
+        config = Config(
+            default_parallelism=4,
+            shuffle_partitions=4,
+            row_batch_size=4096,
+            scheduler_mode=mode,
+        )
+        session, _, server = make_server(config=config, serve=ServeConfig(num_workers=2))
+        tickets = []
+        for i in range(4):
+            tickets.append(server.submit(f"SELECT name FROM users WHERE uid = {i}"))
+            tickets.append(server.submit("SELECT * FROM users WHERE score > -1"))
+        server.shutdown(drain=True)
+        for t in tickets:
+            result = t.result(timeout=30.0)  # drained: all complete, none hang
+            assert result.rows, f"drained ticket returned no rows: {t.text!r}"
+        assert all(t.done for t in tickets)
+
+    @pytest.mark.parametrize("mode", ["sequential", "threads"])
+    def test_no_drain_fails_queued_tickets_promptly(self, mode):
+        config = Config(
+            default_parallelism=4,
+            shuffle_partitions=4,
+            row_batch_size=4096,
+            scheduler_mode=mode,
+        )
+        session, _, server = make_server(config=config, serve=ServeConfig(num_workers=1))
+        blocker = session.context.job_lock
+        blocker.acquire()  # wedge the worker so the rest stay queued
+        try:
+            tickets = [server.submit("SELECT * FROM users WHERE score > -1")]
+            deadline = time.time() + 5.0
+            while server._queue.qsize() > 0 and time.time() < deadline:
+                time.sleep(0.005)
+            for i in range(3):
+                tickets.append(server.submit(f"SELECT name FROM users WHERE uid = {i}"))
+            shutdown_thread = threading.Thread(
+                target=server.shutdown, kwargs={"drain": False}
+            )
+            shutdown_thread.start()
+            # Queued tickets are rejected without waiting for the wedged one.
+            for t in tickets[1:]:
+                with pytest.raises(ServeRejected) as exc_info:
+                    t.result(timeout=10.0)
+                assert exc_info.value.reason == "shutdown"
+        finally:
+            blocker.release()
+        shutdown_thread.join(timeout=30.0)
+        assert not shutdown_thread.is_alive()
+        assert tickets[0].result(timeout=30.0).rows  # in-flight one finishes
+        assert all(t.done for t in tickets)
 
 
 # -- concurrent ingest / read-after-write ---------------------------------------------
@@ -429,6 +519,38 @@ class TestReplayTruncation:
         rec = log.append(6, [(6, "r6")])
         assert rec.record_id == 5
         assert log.last_record_id == 5
+
+    def test_truncate_empty_log_is_noop(self):
+        """Satellite regression: truncating an empty log (fresh, or already
+        fully compacted) must be a no-op, never an exception."""
+        log = ReplayLog()
+        assert log.truncate_through(0) == 0
+        assert log.truncate_through(100) == 0
+        assert len(log) == 0
+        assert log.first_retained_id == 0
+        assert log.last_record_id == -1
+        # The log still works afterwards.
+        rec = log.append(1, [(1, "a")])
+        assert rec.record_id == 0
+        assert log.get(0).version == 1
+
+    def test_truncate_past_head_is_noop_on_compacted_log(self):
+        """Truncating at or below the compaction base again — e.g. a
+        retention pass re-running with a stale watermark — frees nothing
+        and moves nothing."""
+        log = ReplayLog()
+        for v in range(1, 4):
+            log.append(v, [(v, f"r{v}")])
+        assert log.truncate_through(log.last_record_id) == 3  # empty it
+        base = log.first_retained_id
+        # Every stale watermark at or below the base is a no-op.
+        for stale in (-1, 0, base - 1):
+            assert log.truncate_through(stale) == 0
+        assert log.first_retained_id == base
+        assert len(log) == 0
+        # Ids keep advancing monotonically across the no-ops.
+        rec = log.append(4, [(4, "r4")])
+        assert rec.record_id == base
 
     def test_live_version_replays_after_truncation(self):
         """The regression the satellite demands: truncating the log must not

@@ -1,0 +1,482 @@
+"""Sharded serve tier: routing, replication, failover, hedging, chaos.
+
+The tier-wide contract (DESIGN.md §14), enforced here property-style: the
+router may *reject* (retryably) and may *degrade* (partial rows, flagged,
+only when every replica of a partition is dead) — but it never returns a
+wrong answer, under any seed, with shards dying mid-stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import Config
+from repro.engine.context import EngineContext
+from repro.serve import (
+    PartitionNotOwned,
+    QueryServer,
+    RouterConfig,
+    RoutingTable,
+    ServeConfig,
+    ServeRejected,
+    ShardConfig,
+    ShardDown,
+    ShardRouter,
+    ShardServer,
+    SpaceSaving,
+)
+from repro.sql.session import Session
+
+from .conftest import USER_SCHEMA, make_users
+
+
+def make_sharded(
+    num_shards: int = 4,
+    router: RouterConfig | None = None,
+    config: Config | None = None,
+    n_users: int = 120,
+):
+    config = config or Config(
+        default_parallelism=4, shuffle_partitions=4, row_batch_size=4096
+    )
+    session = Session(context=EngineContext(config=config))
+    df = session.create_dataframe(make_users(n_users), USER_SCHEMA, name="users")
+    idf = df.create_index("uid")
+    r = ShardRouter(session, num_shards, config=router or RouterConfig())
+    r.publish("users", idf)
+    return session, idf, r
+
+
+# -- the popularity sketch -------------------------------------------------------------
+
+
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        s = SpaceSaving(capacity=8)
+        for _ in range(5):
+            s.offer("a")
+        s.offer("b")
+        assert s.count("a") == 5
+        assert s.guaranteed_count("a") == 5
+        assert s.count("z") == 0
+        assert s.top(1) == [("a", 5)]
+
+    def test_heavy_hitter_survives_churn(self):
+        s = SpaceSaving(capacity=4)
+        for i in range(400):
+            s.offer("hot")
+            s.offer(f"cold{i}")  # endless one-hit wonders force evictions
+        assert s.is_hot("hot", min_count=300)
+        # SpaceSaving guarantee: any key with true count > total/capacity
+        # is monitored; "hot" (400 of 800) certainly is.
+        assert s.count("hot") >= 400
+        assert len(s) <= 4
+
+    def test_overestimate_never_underestimate(self):
+        s = SpaceSaving(capacity=2)
+        s.offer("a"), s.offer("b"), s.offer("c")  # c evicts the min
+        assert s.count("c") >= 1  # estimate includes inherited error
+        assert s.guaranteed_count("c") <= s.count("c")
+
+
+# -- routing table ---------------------------------------------------------------------
+
+
+class TestRoutingTable:
+    def test_primary_and_replica_placement(self):
+        t = RoutingTable(num_partitions=6, num_shards=3, replication_factor=2)
+        assert t.replicas(0) == [0, 1]
+        assert t.replicas(4) == [1, 2]
+        assert t.replicas(5) == [2, 0]
+        assert sorted(t.splits_owned_by(0)) == [0, 2, 3, 5]
+
+    def test_replication_factor_clamped_to_shards(self):
+        t = RoutingTable(num_partitions=2, num_shards=2, replication_factor=5)
+        assert t.replication_factor == 2
+        assert sorted(t.replicas(0)) == [0, 1]
+
+    def test_promote_grows_round_robin_and_reports_added(self):
+        t = RoutingTable(num_partitions=4, num_shards=4, replication_factor=1)
+        assert t.replicas(1) == [1]
+        added = t.promote(1, 3)
+        assert added == [2, 3]
+        assert t.replicas(1) == [1, 2, 3]
+        assert t.promote(1, 3) == []  # idempotent
+
+    def test_scan_assignment_balances_and_reports_missing(self):
+        t = RoutingTable(num_partitions=8, num_shards=4, replication_factor=2)
+        assignment, missing = t.scan_assignment(range(8), live={0, 1, 2, 3})
+        assert missing == []
+        covered = sorted(s for splits in assignment.values() for s in splits)
+        assert covered == list(range(8))  # each split exactly once
+        # Kill everything owning split 0 ({0, 1}): it has no live replica.
+        assignment, missing = t.scan_assignment(range(8), live={2, 3})
+        assert 0 in missing
+        covered = sorted(s for splits in assignment.values() for s in splits)
+        assert 0 not in covered
+
+
+# -- a single shard --------------------------------------------------------------------
+
+
+class TestShardServer:
+    def make_shard(self, **cfg):
+        config = Config(default_parallelism=4, shuffle_partitions=4, row_batch_size=4096)
+        session = Session(context=EngineContext(config=config))
+        df = session.create_dataframe(make_users(60), USER_SCHEMA, name="users")
+        idf = df.create_index("uid")
+        from repro.serve.snapshot import PinnedSnapshot
+
+        pin = PinnedSnapshot.pin(idf)
+        shard = ShardServer(0, session.context, ShardConfig(**cfg))
+        owned = {0: pin.partitions[0], 2: pin.partitions[2]}
+        shard.install("users", pin.version, idf.partitioner, owned)
+        return session, idf, pin, shard
+
+    def test_lookup_owned_key_and_reject_unowned(self):
+        session, idf, pin, shard = self.make_shard()
+        owned_key = next(
+            k for k in range(60) if idf.partitioner.partition(k) in (0, 2)
+        )
+        unowned_key = next(
+            k for k in range(60) if idf.partitioner.partition(k) not in (0, 2)
+        )
+        assert shard.lookup("users", owned_key) == pin.lookup(owned_key)
+        with pytest.raises(PartitionNotOwned):
+            shard.lookup("users", unowned_key)
+
+    def test_scan_only_requested_splits(self):
+        session, idf, pin, shard = self.make_shard()
+        rows = shard.scan("users", [0])
+        assert sorted(rows) == sorted(pin.partitions[0].scan_rows())
+        with pytest.raises(PartitionNotOwned):
+            shard.scan("users", [0, 1])  # 1 is not installed
+
+    def test_kill_raises_shard_down_and_restore_is_empty(self):
+        session, idf, pin, shard = self.make_shard()
+        shard.kill()
+        assert not shard.alive
+        with pytest.raises(ShardDown):
+            shard.lookup("users", 0)
+        with pytest.raises(ShardDown):
+            shard.heartbeat()
+        shard.restore()
+        assert shard.alive
+        # A restart does not resurrect state: the router must re-install.
+        with pytest.raises(PartitionNotOwned):
+            shard.lookup("users", 0)
+
+    def test_overload_sheds_retryably(self):
+        session, idf, pin, shard = self.make_shard(max_inflight=0)
+        with pytest.raises(ServeRejected) as exc_info:
+            shard.lookup("users", 0)
+        assert exc_info.value.reason == "shard_overloaded"
+        assert exc_info.value.retryable
+
+
+# -- the router ------------------------------------------------------------------------
+
+
+class TestShardRouter:
+    def test_point_in_scan_general_match_session(self):
+        session, _, router = make_sharded()
+        with router:
+            cases = [
+                ("SELECT * FROM users WHERE uid = 17", "point"),
+                ("SELECT name, score FROM users WHERE uid IN (3, 4, 5)", "point"),
+                ("SELECT uid FROM users WHERE score > 50", "scan"),
+                ("SELECT name, SUM(score) AS s FROM users GROUP BY name", "general"),
+            ]
+            for text, path in cases:
+                result = router.query(text)
+                assert result.path == path, text
+                assert sorted(result.rows) == sorted(
+                    session.sql(text).collect_tuples()
+                ), text
+                assert not result.degraded
+
+    def test_single_key_routes_to_one_shard_only(self):
+        session, idf, router = make_sharded()
+        with router:
+            router.query("SELECT * FROM users WHERE uid = 9")  # warm template
+            reg = session.context.registry
+            before = reg.counter_by_label("serve_shard_requests_total", "shard")
+            router.query("SELECT * FROM users WHERE uid = 9")
+            after = reg.counter_by_label("serve_shard_requests_total", "shard")
+            touched = [s for s in after if after[s] > before.get(s, 0)]
+            assert len(touched) == 1
+
+    def test_failover_mid_stream_no_client_visible_error(self):
+        session, idf, router = make_sharded()
+        with router:
+            expected = {
+                uid: sorted(session.sql(
+                    f"SELECT * FROM users WHERE uid = {uid}"
+                ).collect_tuples())
+                for uid in range(40)
+            }
+            for uid in range(20):
+                assert sorted(
+                    router.query("SELECT * FROM users WHERE uid = ?", params=[uid]).rows
+                ) == expected[uid]
+            router.kill_shard(1)
+            # rf=2: every key still has a live replica — zero degraded,
+            # zero wrong, zero client-visible errors.
+            for uid in range(40):
+                result = router.query(
+                    "SELECT * FROM users WHERE uid = ?", params=[uid]
+                )
+                assert not result.degraded
+                assert sorted(result.rows) == expected[uid]
+            assert router.shard_states()[1] == "dead"
+
+    def test_degraded_only_when_all_replicas_dead(self):
+        session, idf, router = make_sharded(
+            num_shards=3,
+            router=RouterConfig(replication_factor=1, auto_repair=False),
+        )
+        with router:
+            dead = 0
+            router.kill_shard(dead)
+            table = router.routing_table("users")
+            lost = {split for split, owners in table.items() if owners == [dead]}
+            assert lost, "rf=1 kill must orphan some splits"
+            for uid in range(60):
+                split = idf.partitioner.partition(uid)
+                result = router.query(
+                    "SELECT * FROM users WHERE uid = ?", params=[uid]
+                )
+                if split in lost:
+                    assert result.degraded
+                    assert result.rows == []
+                    assert split in result.missing_partitions
+                else:
+                    assert not result.degraded
+            scan = router.query("SELECT uid FROM users WHERE score >= 0")
+            assert scan.degraded
+            assert set(scan.missing_partitions) == lost
+            served = {uid for (uid,) in scan.rows}
+            assert all(idf.partitioner.partition(u) not in lost for u in served)
+
+    def test_auto_repair_restores_replication_factor(self):
+        session, idf, router = make_sharded(num_shards=4)
+        with router:
+            router.kill_shard(2)
+            live = set(router.live_shards())
+            table = router.routing_table("users")
+            for split, owners in table.items():
+                assert sum(1 for s in owners if s in live) >= 2, (split, owners)
+            # And the repaired copies actually serve.
+            for uid in range(30):
+                result = router.query(
+                    "SELECT name FROM users WHERE uid = ?", params=[uid]
+                )
+                assert not result.degraded
+
+    def test_recover_shard_rejoins_and_serves(self):
+        session, idf, router = make_sharded()
+        with router:
+            router.kill_shard(0)
+            router.recover_shard(0)
+            assert router.shard_states()[0] == "alive"
+            assert 0 in router.live_shards()
+            snap = router.shards[0].snapshot("users")
+            assert snap.version == idf.version
+            assert sorted(snap.parts) == sorted(
+                router.pinned("users").table.splits_owned_by(0)
+            )
+
+    def test_heartbeat_state_machine_alive_suspect_dead(self):
+        session, idf, router = make_sharded(
+            router=RouterConfig(heartbeat_misses_to_dead=2)
+        )
+        with router:
+            router.shards[3]._alive = False  # fail heartbeats without declaring
+            assert router.check_health()[3] == "suspect"
+            assert router.check_health()[3] == "dead"
+            # Dead shards stay dead until explicitly recovered.
+            assert router.check_health()[3] == "dead"
+            router.recover_shard(3)
+            assert router.check_health()[3] == "alive"
+
+    def test_hot_key_cache_and_promotion(self):
+        session, idf, router = make_sharded(
+            router=RouterConfig(
+                hot_key_min_count=4, hot_promotion_min_count=8, hot_cache_capacity=16
+            )
+        )
+        with router:
+            for _ in range(30):
+                r = router.query("SELECT name FROM users WHERE uid = ?", params=[11])
+            assert r.from_hot_cache
+            reg = session.context.registry
+            assert reg.counter_value("serve_hot_cache_hits_total") > 0
+            split = idf.partitioner.partition(11)
+            assert len(router.routing_table("users")[split]) == len(router.shards)
+            assert reg.counter_value("serve_hot_promotions_total") >= 1
+
+    def test_hot_cache_invalidated_by_republish(self):
+        session, idf, router = make_sharded(
+            router=RouterConfig(hot_key_min_count=2, hot_cache_capacity=16)
+        )
+        with router:
+            for _ in range(5):
+                router.query("SELECT score FROM users WHERE uid = ?", params=[7])
+            child = idf.append_rows([(7, "fresh", 123.456)])
+            router.publish("users", child)
+            rows = router.query(
+                "SELECT score FROM users WHERE uid = ?", params=[7]
+            ).rows
+            assert (123.456,) in rows  # stale cached version cannot answer
+
+    def test_hedged_retry_beats_straggler_within_budget(self):
+        session, idf, router = make_sharded(
+            router=RouterConfig(hedge_delay=0.02, hedge_budget_fraction=1.0)
+        )
+        with router:
+            uid = 5
+            split = idf.partitioner.partition(uid)
+            expected = sorted(
+                session.sql(f"SELECT * FROM users WHERE uid = {uid}").collect_tuples()
+            )
+            reg = session.context.registry
+            hits = 0
+            for _ in range(8):
+                # Stall whichever replica the rotation will try first.
+                for owner in router.pinned("users").table.replicas(split):
+                    session.context.faults.delay_shard_once(owner, 0.2)
+                result = router.query(
+                    "SELECT * FROM users WHERE uid = ?", params=[uid]
+                )
+                assert sorted(result.rows) == expected
+                hits += 1 if result.hedged else 0
+                session.context.faults.reset()
+                session.context.faults.configure(seed=1)
+            assert hits > 0
+            assert reg.counter_value("serve_hedged_requests_total") >= hits
+
+    def test_publish_barrier_keeps_versions_consistent(self):
+        session, idf, router = make_sharded(n_users=80)
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    result = router.query("SELECT uid FROM users WHERE score >= 0")
+                except ServeRejected:
+                    continue
+                counts = len(result.rows)
+                # Every publish appends exactly 1 row: any answer must be
+                # one of the published cardinalities, never in between
+                # versions (the barrier guarantees it).
+                if counts not in allowed:
+                    torn.append(counts)
+
+        allowed = {80}
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            current = idf
+            for i in range(5):
+                current = current.append_rows([(1000 + i, f"new{i}", 1.0)])
+                allowed.add(80 + i + 1)
+                router.publish("users", current)
+        finally:
+            stop.set()
+            t.join(timeout=10.0)
+        router.shutdown()
+        assert torn == []
+
+
+# -- the 200-seed property test --------------------------------------------------------
+
+
+class TestShardedChaosProperty:
+    """Satellite: across 200 seeds, the sharded+replicated tier answers
+    identically to a single QueryServer — including with chaos killing
+    shards mid-workload. Zero wrong answers; ``degraded`` may appear only
+    when every replica of a partition is dead."""
+
+    N_USERS = 60
+    QUERIES = [
+        ("SELECT * FROM users WHERE uid = ?", "point"),
+        ("SELECT name, score FROM users WHERE uid IN (2, 19, 44)", "point"),
+        ("SELECT uid, name FROM users WHERE score > 35", "scan"),
+    ]
+
+    @pytest.fixture(scope="class")
+    def shared(self):
+        config = Config(
+            default_parallelism=4, shuffle_partitions=4, row_batch_size=4096
+        )
+        session = Session(context=EngineContext(config=config))
+        df = session.create_dataframe(
+            make_users(self.N_USERS), USER_SCHEMA, name="users"
+        )
+        idf = df.create_index("uid")
+        # Reference answers from the single-server tier (itself verified
+        # against the general pipeline in test_serve.py).
+        server = QueryServer(session, ServeConfig(num_workers=1))
+        server.publish("users", idf)
+        expected: dict[tuple, list] = {}
+        for uid in range(self.N_USERS + 5):
+            expected[("point?", uid)] = sorted(
+                server.query(self.QUERIES[0][0], params=[uid]).rows
+            )
+        for text, _ in self.QUERIES[1:]:
+            expected[(text, None)] = sorted(server.query(text).rows)
+        server.shutdown()
+        return session, idf, expected
+
+    def test_200_seeds_zero_wrong_answers(self, shared):
+        session, idf, expected = shared
+        faults = session.context.faults
+        wrong: list[tuple] = []
+        degraded_seen = 0
+        kills_seen = 0
+        for seed in range(200):
+            faults.reset()
+            faults.configure(seed=seed, shard_kill_prob=0.06)
+            router = ShardRouter(
+                session,
+                num_shards=4,
+                config=RouterConfig(replication_factor=2, hot_key_min_count=6),
+            )
+            router.publish("users", idf)
+            try:
+                for i in range(24):
+                    uid = (seed * 7 + i * 5) % (self.N_USERS + 5)
+                    text, _ = self.QUERIES[i % len(self.QUERIES)]
+                    params = [uid] if "?" in text else None
+                    key = ("point?", uid) if params else (text, None)
+                    try:
+                        result = router.query(text, params=params)
+                    except ServeRejected as exc:
+                        assert exc.retryable, (seed, i, exc.reason)
+                        continue
+                    if result.degraded:
+                        degraded_seen += 1
+                        live = set(router.live_shards())
+                        table = router.pinned("users").table
+                        for split in result.missing_partitions:
+                            owners = table.replicas(split)
+                            assert not (set(owners) & live), (
+                                f"seed {seed}: split {split} flagged missing "
+                                f"but has live replicas {owners} ∩ {live}"
+                            )
+                        continue
+                    if sorted(result.rows) != expected[key]:
+                        wrong.append((seed, i, text, uid))
+                dead = [s for s, h in router.shard_states().items() if h == "dead"]
+                kills_seen += len(dead)
+            finally:
+                router.shutdown()
+        faults.reset()
+        assert wrong == [], f"wrong answers under chaos: {wrong[:5]}"
+        assert kills_seen > 0, "chaos never killed a shard across 200 seeds"
+        # rf=2 on 4 shards: most kills are absorbed; degradation is the
+        # exception (both replicas dead), not the rule.
+        assert degraded_seen < kills_seen * 24
