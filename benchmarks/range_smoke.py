@@ -1,0 +1,205 @@
+"""Range-scan smoke: ordered-index seeks vs full scans, plus chaos.
+
+One workload, two engines over *identical* indexed storage (same row
+batches, same cTrie, same plans — ``IndexedRangeScanExec`` either side):
+
+* **indexed** — ``ordered_index`` on: a recognized ``BETWEEN`` seeks the
+  per-partition ordered index and decodes only the matching chains;
+* **full_scan** — ``ordered_index`` off: the same operator falls back to
+  scanning every row and filtering, the pre-PR-8 behaviour.
+
+The smoke fails (non-zero exit) unless:
+
+* both engines return identical answers on every query,
+* the indexed engine is >= 3x the full-scan engine on a <= 1%-selectivity
+  ``BETWEEN`` predicate (the acceptance gate),
+* the metrics agree the index sought rather than scanned
+  (``ordered_index_rows_scanned_total`` <= matched rows, not the dataset),
+* a chaos pass (executor kill + task failures + memory squeezes) over the
+  same range queries completes with zero mismatches.
+
+Writes ``BENCH_PR8.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/range_smoke.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import Config  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, Schema  # noqa: E402
+
+EDGE_SCHEMA = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+N_ROWS = 100_000
+KEY_DOMAIN = 100_000  # ~1 row per key: window width ~= selectivity
+WINDOW_KEYS = 500  # 500 / 100_000 = 0.5% selectivity, under the 1% gate
+N_QUERIES = 20
+SPEEDUP_GATE = 3.0
+
+
+def make_rows() -> list[tuple]:
+    rng = random.Random(88)
+    return [
+        (rng.randrange(KEY_DOMAIN), i, float(i % 1000) / 100.0) for i in range(N_ROWS)
+    ]
+
+
+def make_engine(ordered: bool, **overrides) -> tuple[Session, "object"]:
+    session = Session(
+        config=Config(
+            default_parallelism=4,
+            shuffle_partitions=4,
+            scheduler_mode="sequential",
+            ordered_index=ordered,
+            **overrides,
+        )
+    )
+    idf = (
+        session.create_dataframe(make_rows(), EDGE_SCHEMA, "edges")
+        .create_index("src")
+        .cache_index()
+    )
+    idf.create_or_replace_temp_view("edges_idx")
+    return session, idf
+
+
+def windows() -> list[tuple[int, int]]:
+    rng = random.Random(21)
+    return [
+        (lo, lo + WINDOW_KEYS - 1)
+        for lo in (rng.randrange(KEY_DOMAIN - WINDOW_KEYS) for _ in range(N_QUERIES))
+    ]
+
+
+def drive(session: Session, queries: list[tuple[int, int]]) -> tuple[list, float]:
+    answers = []
+    t0 = time.perf_counter()
+    for lo, hi in queries:
+        rows = session.sql(
+            f"SELECT src, dst FROM edges_idx WHERE src BETWEEN {lo} AND {hi}"
+        ).collect_tuples()
+        answers.append(sorted(rows))
+    return answers, time.perf_counter() - t0
+
+
+def run_engine(name: str, ordered: bool, queries) -> tuple[dict, list]:
+    session, _ = make_engine(ordered)
+    # Warm the cache/plans so the timed loop measures the scan, not setup.
+    drive(session, queries[:2])
+    answers, wall_s = drive(session, queries)
+    reg = session.context.registry
+    stats = {
+        "wall_s": wall_s,
+        "queries_per_s": len(queries) / wall_s,
+        "range_scans": reg.counter_total("ordered_index_range_scans_total"),
+        "rows_scanned": reg.counter_total("ordered_index_rows_scanned_total"),
+        "rows_matched": reg.counter_total("ordered_index_rows_matched_total"),
+    }
+    print(
+        f"{name:>10}: {wall_s * 1e3:8.1f} ms for {len(queries)} queries  "
+        f"scanned={stats['rows_scanned']:.0f} matched={stats['rows_matched']:.0f}"
+    )
+    return stats, answers
+
+
+def run_chaos(queries) -> dict:
+    """The same differential under seeded chaos: kills, retries, squeezes."""
+    session, _ = make_engine(
+        True,
+        chaos_seed=17,
+        chaos_task_failure_prob=0.05,
+        chaos_memory_squeeze_prob=0.1,
+        chaos_memory_squeeze_factor=0.5,
+        executor_replacement=True,
+        task_retry_backoff=0.0,
+    )
+    rows = make_rows()
+    mismatches = 0
+    mid = len(queries) // 2
+    for i, (lo, hi) in enumerate(queries):
+        if i == mid:  # mid-run executor kill, on top of the seeded chaos
+            context = session.context
+            context.kill_executor(context.alive_executor_ids()[0], reason="range-chaos")
+        got = sorted(
+            session.sql(
+                f"SELECT src, dst FROM edges_idx WHERE src BETWEEN {lo} AND {hi}"
+            ).collect_tuples()
+        )
+        want = sorted((s, d) for s, d, _ in rows if lo <= s <= hi)
+        if got != want:
+            mismatches += 1
+    summary = {"queries": len(queries), "mismatches": mismatches, "executors_killed": 1}
+    print(f"     chaos: {len(queries)} queries, {mismatches} mismatches")
+    return summary
+
+
+def main() -> int:
+    failures: list[str] = []
+    queries = windows()
+
+    indexed, indexed_answers = run_engine("indexed", ordered=True, queries=queries)
+    full, full_answers = run_engine("full_scan", ordered=False, queries=queries)
+
+    if indexed_answers != full_answers:
+        failures.append("indexed and full-scan engines disagree on answers")
+    selectivity = indexed["rows_matched"] / (len(queries) * N_ROWS)
+    speedup = full["wall_s"] / indexed["wall_s"]
+    print(
+        f"   speedup: indexed vs full scan = {speedup:.1f}x "
+        f"(gate: >= {SPEEDUP_GATE}x at {selectivity:.3%} selectivity)"
+    )
+    if speedup < SPEEDUP_GATE:
+        failures.append(f"indexed range scan speedup {speedup:.2f}x < {SPEEDUP_GATE}x")
+    if selectivity > 0.01:
+        failures.append(f"workload selectivity {selectivity:.3%} exceeds 1%")
+    if indexed["rows_scanned"] > indexed["rows_matched"]:
+        failures.append("ordered index decoded more rows than it matched")
+    if full["rows_scanned"] < len(queries) * N_ROWS:
+        failures.append("full-scan engine did not actually scan everything")
+
+    chaos = run_chaos(queries[: N_QUERIES // 2])
+    if chaos["mismatches"]:
+        failures.append(f"chaos run produced {chaos['mismatches']} mismatches")
+
+    bench = {
+        "workload": {
+            "rows": N_ROWS,
+            "key_domain": KEY_DOMAIN,
+            "window_keys": WINDOW_KEYS,
+            "queries": N_QUERIES,
+            "selectivity": selectivity,
+        },
+        "indexed": indexed,
+        "full_scan": full,
+        "speedup_indexed_vs_full_scan": speedup,
+        "chaos": chaos,
+        "ok": not failures,
+    }
+    out = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    )
+    out.write_text(json.dumps(bench, indent=2, default=str) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("range smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

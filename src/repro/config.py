@@ -154,6 +154,13 @@ class Config:
     #: in "processes" mode), "on", or "off".
     shared_batches: str = "auto"
     index_string_keys_as_hash: bool = True
+    #: Maintain the per-partition ordered secondary index (DESIGN.md §15):
+    #: sorted distinct key values enabling BETWEEN/</>/prefix range scans
+    #: and indexed stream-window joins. Off reverts ranges to full scans.
+    ordered_index: bool = True
+    #: Pending keys accumulated before the ordered index folds them into a
+    #: fresh immutable base array (snapshot cost is O(pending)).
+    ordered_index_compact_threshold: int = 512
     #: Seconds of backoff before a task's first retry; doubles per attempt.
     task_retry_backoff: float = 0.005
     #: Upper bound on one retry's backoff sleep.

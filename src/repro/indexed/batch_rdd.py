@@ -127,6 +127,8 @@ class IndexedBatchRDD(RDD):
             version=self.version,
             hash_string_keys=cfg.index_string_keys_as_hash,
             batch_factory=batch_factory,
+            ordered_index=cfg.ordered_index,
+            ordered_compact_threshold=cfg.ordered_index_compact_threshold,
         )
 
 

@@ -60,7 +60,11 @@ class CopyOnWriteVersioning:
             max_row_size=parent.codec.max_row_size,
             version=version,
             hash_string_keys=parent.hash_string_keys,
+            ordered_index=False,
         )
+        # The ordered index stores actual key values, which cannot be
+        # recovered from the (possibly hashed) cTrie keys — copy it.
+        child.ordered = parent.ordered.copy() if parent.ordered is not None else None
         # Deep-copy the batches byte for byte...
         child.batches = []
         for batch in parent.batches:

@@ -1,0 +1,296 @@
+"""Ordered secondary index over a partition's distinct keys (DESIGN.md §15).
+
+The cTrie answers point ``=``/``IN`` lookups in O(1) but keeps keys in hash
+order, so ``BETWEEN`` / ``<`` / ``>`` / prefix predicates previously fell
+back to full scans. This module adds the ordered half: a per-partition
+sorted structure over the *distinct key values* (the actual column values,
+never the 32-bit string hashes — those destroy order), from which a range
+scan enumerates candidate keys and then reuses the existing cTrie +
+backward-pointer chains for the rows. The Cuckoo Trie paper (PAPERS.md) is
+the design reference for a fast ordered DRAM index; in this Python
+reproduction we get the same asymptotics from a two-level sorted array:
+
+* ``_base`` — an immutable sorted list. Never mutated in place; compaction
+  builds a **new** list, so every MVCC snapshot holding the old one is
+  unaffected (the same replace-don't-mutate discipline as the cTrie's
+  copy-on-write nodes).
+* ``_pending`` — a small unsorted overflow of recently added keys, merged
+  into a fresh ``_base`` once it exceeds ``compact_threshold``.
+
+This makes :meth:`OrderedIndex.snapshot` O(pending): the child shares the
+base array and copies only the pending tail — mirroring the O(1) cTrie
+snapshot that makes MVCC republishes cheap.
+
+Visibility is *not* this structure's job: versions only ever add keys, so a
+version's ordered index is exactly the distinct keys inserted along its
+lineage. Range scans probe each candidate key through the partition's own
+per-version cTrie (``lookup``), which filters both invisible keys and
+string-hash collisions. A superset key set (e.g. after a racy read that
+sees a freshly compacted base *and* the old pending list) is therefore
+harmless — duplicates are removed during the merge and phantom keys probe
+to empty chains.
+
+Concurrency: published versions are immutable, so the only concurrent
+reader/writer pair is an in-flight build vs. an eager reader. The reader
+protocol (read ``_pending`` *before* ``_base``) combined with the writer
+protocol (install the new base *before* swapping in the empty pending
+list, both by assignment) guarantees no key is ever lost — at worst a key
+is seen twice and deduplicated.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator
+
+
+class KeyRange:
+    """A contiguous key interval: explicit bounds or a string prefix.
+
+    ``lo``/``hi`` of ``None`` mean unbounded on that side. A ``prefix``
+    range matches string keys starting with ``prefix``; it also carries
+    ``lo = prefix`` so a sorted structure can seek directly to the first
+    candidate (keys sharing a prefix are contiguous in sort order).
+    """
+
+    __slots__ = ("hi", "hi_inclusive", "lo", "lo_inclusive", "prefix")
+
+    def __init__(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+        prefix: "str | None" = None,
+    ) -> None:
+        if prefix is not None:
+            lo = prefix
+            lo_inclusive = True
+        self.lo = lo
+        self.hi = hi
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+        self.prefix = prefix
+
+    @classmethod
+    def prefix_of(cls, prefix: str) -> "KeyRange":
+        return cls(prefix=prefix)
+
+    # -- predicate semantics -----------------------------------------------------------
+
+    def matches(self, key: Any) -> bool:
+        """Exact membership test — the oracle the index scan must agree with."""
+        if self.prefix is not None:
+            return isinstance(key, str) and key.startswith(self.prefix)
+        lo = self.lo
+        if lo is not None:
+            if self.lo_inclusive:
+                if key < lo:
+                    return False
+            elif key <= lo:
+                return False
+        hi = self.hi
+        if hi is not None:
+            if self.hi_inclusive:
+                if key > hi:
+                    return False
+            elif key >= hi:
+                return False
+        return True
+
+    def is_empty(self) -> bool:
+        """Statically provably empty (reversed bounds, or equal-but-open)."""
+        if self.prefix is not None or self.lo is None or self.hi is None:
+            return False
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and not (self.lo_inclusive and self.hi_inclusive)
+
+    def intersect(self, other: "KeyRange") -> "KeyRange | None":
+        """Conjoin two ranges over the same key; None if incompatible.
+
+        Prefix ranges only intersect with themselves-compatible prefixes
+        (one extending the other); mixing a prefix with comparison bounds
+        is left to the residual predicate instead of risking subtle
+        inclusivity bugs.
+        """
+        if self.prefix is not None or other.prefix is not None:
+            if self.prefix is not None and other.prefix is not None:
+                if self.prefix.startswith(other.prefix):
+                    return self
+                if other.prefix.startswith(self.prefix):
+                    return other
+            return None
+        lo, lo_inc = self.lo, self.lo_inclusive
+        if other.lo is not None and (
+            lo is None or other.lo > lo or (other.lo == lo and not other.lo_inclusive)
+        ):
+            lo, lo_inc = other.lo, other.lo_inclusive
+        hi, hi_inc = self.hi, self.hi_inclusive
+        if other.hi is not None and (
+            hi is None or other.hi < hi or (other.hi == hi and not other.hi_inclusive)
+        ):
+            hi, hi_inc = other.hi, other.hi_inclusive
+        return KeyRange(lo, hi, lo_inc, hi_inc)
+
+    def describe(self) -> str:
+        """Human-readable interval for EXPLAIN output."""
+        if self.prefix is not None:
+            return f"prefix={self.prefix!r}"
+        lo = "(-inf" if self.lo is None else ("[" if self.lo_inclusive else "(") + repr(self.lo)
+        hi = "+inf)" if self.hi is None else repr(self.hi) + ("]" if self.hi_inclusive else ")")
+        return f"{lo}, {hi}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KeyRange({self.describe()})"
+
+
+def _merge_sorted_distinct(a: list, b: list) -> list:
+    """Merge two sorted lists into a new sorted list, dropping duplicates."""
+    out: list = []
+    append = out.append
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        x, y = a[i], b[j]
+        if x < y:
+            append(x)
+            i += 1
+        elif y < x:
+            append(y)
+            j += 1
+        else:
+            append(x)
+            i += 1
+            j += 1
+    if i < na:
+        out.extend(a[i:])
+    if j < nb:
+        out.extend(b[j:])
+    return out
+
+
+class OrderedIndex:
+    """Two-level sorted set of a partition's distinct key values."""
+
+    __slots__ = ("compact_threshold", "_base", "_pending", "_pending_set")
+
+    def __init__(self, compact_threshold: int = 512) -> None:
+        self.compact_threshold = compact_threshold
+        self._base: list = []
+        self._pending: list = []
+        self._pending_set: set = set()
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._pending)
+
+    def __contains__(self, key: Any) -> bool:
+        if key in self._pending_set:
+            return True
+        base = self._base
+        i = bisect_left(base, key)
+        return i < len(base) and base[i] == key
+
+    def add(self, key: Any) -> None:
+        """Record a key (idempotent). Amortized O(log n) via the pending tier."""
+        if key in self._pending_set:
+            return
+        base = self._base
+        i = bisect_left(base, key)
+        if i < len(base) and base[i] == key:
+            return
+        self._pending.append(key)
+        self._pending_set.add(key)
+        if len(self._pending) >= self.compact_threshold:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Fold pending keys into a *new* base list (old base stays live for
+        any snapshot sharing it). Writer order: install the merged base
+        first, then swap in the fresh pending list — see module docstring."""
+        merged = _merge_sorted_distinct(self._base, sorted(self._pending))
+        self._base = merged
+        self._pending = []
+        self._pending_set = set()
+
+    # -- ordered reads -----------------------------------------------------------------
+
+    def range_keys(self, krange: KeyRange) -> list:
+        """Distinct keys inside ``krange``, in ascending order.
+
+        Seeks into the sorted base with bisect, walks forward until the
+        upper bound (or prefix mismatch — prefix-sharing keys are
+        contiguous), then merges in the filtered pending tier.
+        """
+        if krange.is_empty():
+            return []
+        # Reader order: pending before base (see module docstring).
+        pending = self._pending
+        base = self._base
+        matches = krange.matches
+        lo = krange.lo
+        if lo is None:
+            i = 0
+        elif krange.lo_inclusive:
+            i = bisect_left(base, lo)
+        else:
+            i = bisect_right(base, lo)
+        prefix = krange.prefix
+        hi = krange.hi
+        hi_inclusive = krange.hi_inclusive
+        out: list = []
+        append = out.append
+        n = len(base)
+        while i < n:
+            key = base[i]
+            if prefix is not None:
+                if not (isinstance(key, str) and key.startswith(prefix)):
+                    break
+            elif hi is not None and (key > hi or (key == hi and not hi_inclusive)):
+                break
+            append(key)
+            i += 1
+        extra = sorted(k for k in pending if matches(k))
+        if extra:
+            out = _merge_sorted_distinct(out, extra)
+        return out
+
+    def iter_keys(self) -> Iterator[Any]:
+        """All distinct keys in ascending order."""
+        if not self._pending:
+            return iter(self._base)
+        merged = list(self._base)
+        for key in sorted(self._pending_set):
+            insort(merged, key)
+        return iter(merged)
+
+    def min_key(self) -> Any:
+        keys = self.range_keys(KeyRange())
+        return keys[0] if keys else None
+
+    def max_key(self) -> Any:
+        keys = self.range_keys(KeyRange())
+        return keys[-1] if keys else None
+
+    # -- MVCC --------------------------------------------------------------------------
+
+    def snapshot(self) -> "OrderedIndex":
+        """O(pending) child: shares the immutable base, copies the tail."""
+        child = object.__new__(OrderedIndex)
+        child.compact_threshold = self.compact_threshold
+        child._base = self._base  # replaced-not-mutated, safe to share
+        child._pending = list(self._pending)
+        child._pending_set = set(child._pending)
+        return child
+
+    def copy(self) -> "OrderedIndex":
+        """Full deep copy (the copy-on-write versioning strategy)."""
+        child = object.__new__(OrderedIndex)
+        child.compact_threshold = self.compact_threshold
+        child._base = list(self._base)
+        child._pending = list(self._pending)
+        child._pending_set = set(child._pending)
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OrderedIndex(base={len(self._base)}, pending={len(self._pending)})"

@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.indexed.operators import IndexedJoinExec, IndexedLookupExec, IndexedScanExec
+from repro.indexed.operators import (
+    IndexedJoinExec,
+    IndexedLookupExec,
+    IndexedRangeScanExec,
+    IndexedScanExec,
+)
+from repro.indexed.ordered_index import KeyRange
 from repro.sql.analysis import resolve_expression
 from repro.sql.dataframe import DataFrame
 from repro.sql.expressions import (
@@ -34,6 +40,7 @@ from repro.sql.expressions import (
     Column,
     Expression,
     In,
+    Like,
     Literal,
     combine_conjuncts,
     split_conjuncts,
@@ -98,6 +105,79 @@ def extract_lookup_keys(
     return sorted(keys, key=repr), combine_conjuncts(residual)
 
 
+#: a comparison's mirror image: ``lit OP key`` == ``key FLIP[OP] lit``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _range_of_conjunct(conj: Expression, key_column: str) -> "KeyRange | None":
+    """The KeyRange one conjunct imposes on the key column, or None.
+
+    Inclusivity is preserved exactly: ``<`` maps to an open bound, ``<=``
+    to a closed one (never conflated — the boundary bugs this PR's tests
+    pin down), and a literal on the left flips the operator.
+    """
+    if isinstance(conj, BinaryOp) and conj.op in _FLIP:
+        a, b = conj.left, conj.right
+        if isinstance(a, Column) and a.name == key_column and isinstance(b, Literal):
+            op, value = conj.op, b.value
+        elif isinstance(b, Column) and b.name == key_column and isinstance(a, Literal):
+            op, value = _FLIP[conj.op], a.value
+        else:
+            return None
+        if value is None:
+            return None
+        if op == "<":
+            return KeyRange(hi=value, hi_inclusive=False)
+        if op == "<=":
+            return KeyRange(hi=value)
+        if op == ">":
+            return KeyRange(lo=value, lo_inclusive=False)
+        return KeyRange(lo=value)
+    if (
+        isinstance(conj, Like)
+        and not conj.negated
+        and isinstance(conj.child, Column)
+        and conj.child.name == key_column
+    ):
+        prefix = conj.prefix()
+        if prefix:  # 'x%' with a non-empty fixed prefix; 'x%y' stays residual
+            return KeyRange.prefix_of(prefix)
+    return None
+
+
+def extract_key_range(
+    condition: Expression, key_column: str
+) -> tuple["KeyRange | None", Expression | None]:
+    """Split a predicate into (key range, residual condition).
+
+    Claims ``key < lit`` / ``<=`` / ``>`` / ``>=`` (either operand order)
+    and ``key LIKE 'x%'`` prefix conjuncts, intersecting multiple bounds
+    into one interval (``BETWEEN`` arrives pre-desugared as ``>= AND <=``).
+    Conjuncts the interval cannot absorb — including a prefix mixed with
+    comparison bounds — stay residual, so correctness never depends on the
+    intersection being complete. Returns (None, None) when nothing
+    constrains the key by range.
+    """
+    krange: "KeyRange | None" = None
+    residual: list[Expression] = []
+    for conj in split_conjuncts(condition):
+        r = _range_of_conjunct(conj, key_column)
+        if r is None:
+            residual.append(conj)
+            continue
+        if krange is None:
+            krange = r
+            continue
+        merged = krange.intersect(r)
+        if merged is None:
+            residual.append(conj)  # incompatible (prefix vs bounds): re-filter
+        else:
+            krange = merged
+    if krange is None:
+        return None, None
+    return krange, combine_conjuncts(residual)
+
+
 def indexed_strategy(planner: Planner, plan: LogicalPlan) -> PhysicalPlan | None:
     """The injected planner strategy (consulted before the built-ins)."""
     session = planner.session
@@ -108,12 +188,20 @@ def indexed_strategy(planner: Planner, plan: LogicalPlan) -> PhysicalPlan | None
     if isinstance(plan, Filter) and isinstance(plan.child, IndexedRelation):
         idf = plan.child.idf
         keys, residual = extract_lookup_keys(plan.condition, idf.key_column)
-        if keys is None:
+        if keys is not None:
+            lookup = IndexedLookupExec(session, idf, keys)
+            if residual is not None:
+                return FilterExec(session, resolve_expression(residual, idf.schema), lookup)
+            return lookup
+        # No equality on the key: try a range/prefix scan over the ordered
+        # secondary index (DESIGN.md §15) before giving up to a full scan.
+        krange, residual = extract_key_range(plan.condition, idf.key_column)
+        if krange is None:
             return None  # falls back to FilterExec over IndexedScanExec
-        lookup = IndexedLookupExec(session, idf, keys)
+        range_scan = IndexedRangeScanExec(session, idf, krange)
         if residual is not None:
-            return FilterExec(session, resolve_expression(residual, idf.schema), lookup)
-        return lookup
+            return FilterExec(session, resolve_expression(residual, idf.schema), range_scan)
+        return range_scan
 
     if isinstance(plan, Join) and len(plan.left_keys) == 1:
         lk, rk = plan.left_keys[0], plan.right_keys[0]

@@ -25,13 +25,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.indexed.rules import IndexedRelation, extract_lookup_keys
+from repro.indexed.rules import IndexedRelation, extract_key_range, extract_lookup_keys
 from repro.sql.analysis import AnalysisError, resolve_expression
 from repro.sql.expressions import (
     BinaryOp,
     Column,
     Expression,
     In,
+    Like,
     Literal,
     Parameter,
     split_conjuncts,
@@ -61,6 +62,30 @@ def _constrains_key(condition: Expression, key_column: str) -> bool:
             and isinstance(conj.child, Column)
             and conj.child.name == key_column
             and all(isinstance(v, bindable) for v in conj.values)
+        ):
+            return True
+    return False
+
+
+def _constrains_key_range(condition: Expression, key_column: str) -> bool:
+    """True when some conjunct bounds the key by comparison (``key < lit|?``
+    etc., either operand order) or by a ``LIKE 'x%'`` prefix — the shapes
+    ``extract_key_range`` claims, extended to unbound parameters."""
+    bindable = (Literal, Parameter)
+    comparisons = ("<", "<=", ">", ">=")
+    for conj in split_conjuncts(condition):
+        if isinstance(conj, BinaryOp) and conj.op in comparisons:
+            a, b = conj.left, conj.right
+            if isinstance(a, Column) and a.name == key_column and isinstance(b, bindable):
+                return True
+            if isinstance(b, Column) and b.name == key_column and isinstance(a, bindable):
+                return True
+        elif (
+            isinstance(conj, Like)
+            and not conj.negated
+            and isinstance(conj.child, Column)
+            and conj.child.name == key_column
+            and conj.prefix()
         ):
             return True
     return False
@@ -149,6 +174,74 @@ def _substitute_params(
         return None
 
     return condition.transform(substitute)
+
+
+class RangeTemplate:
+    """A compiled ordered-index range scan: the single-range serve shape
+    (``SELECT [cols] FROM view WHERE key BETWEEN ?|lit AND ?|lit ...``).
+
+    Like :class:`FastPathTemplate` it executes on the calling thread
+    against a pinned snapshot — the ordered index makes the interval seek
+    an in-process bisect per partition instead of a scan job. Recognition
+    sits between the point fast path (which wins when the key is pinned by
+    equality) and the fan-out scan (the fallback when nothing bounds the
+    key)."""
+
+    __slots__ = ("condition", "key_column", "limit", "num_params", "projection", "view")
+
+    def __init__(
+        self,
+        view: str,
+        key_column: str,
+        condition: Expression,
+        projection: "tuple[int, ...] | None",
+        limit: "int | None",
+        num_params: int,
+    ) -> None:
+        self.view = view
+        self.key_column = key_column
+        #: Ordinal-resolved condition; may still contain Parameters.
+        self.condition = condition
+        self.projection = projection
+        self.limit = limit
+        self.num_params = num_params
+
+    def bind(self, params: "Iterable[Any] | None" = None) -> "tuple[Any, Expression | None]":
+        """Substitute parameter values; returns (KeyRange, residual).
+
+        The shard router calls this to learn the interval before fanning
+        out (ranges span all splits under hash partitioning — the fan-out
+        prunes rows per shard, not shards)."""
+        condition = _substitute_params(self.condition, params, self.num_params)
+        krange, residual = extract_key_range(condition, self.key_column)
+        if krange is None:  # pragma: no cover - recognize_range() guarantees a bound
+            raise RuntimeError("range template lost its key bound")
+        return krange, residual
+
+    def finish(self, rows: list[tuple], residual: "Expression | None") -> list[tuple]:
+        """Apply residual filter, projection and limit to ranged rows."""
+        if residual is not None:
+            rows = [r for r in rows if residual.eval(r)]
+        if self.projection is not None:
+            ords = self.projection
+            rows = [tuple(r[i] for i in ords) for r in rows]
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        return rows
+
+    def execute(
+        self, snapshot: "PinnedSnapshot", params: "Iterable[Any] | None" = None
+    ) -> list[tuple]:
+        """Answer the query from ``snapshot`` on the calling thread."""
+        krange, residual = self.bind(params)
+        rows, _scanned = snapshot.range_lookup(krange)
+        return self.finish(rows, residual)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RangeTemplate({self.view}, key={self.key_column}, "
+            f"params={self.num_params})"
+        )
 
 
 class ScanTemplate:
@@ -306,6 +399,55 @@ def recognize(
     counter = [0]
     _count_params(plan.condition, counter)
     return FastPathTemplate(view, key_column, condition, projection, limit, counter[0])
+
+
+def recognize_range(
+    logical: LogicalPlan,
+    catalog: "Catalog",
+    served_views: Iterable[str],
+) -> "RangeTemplate | None":
+    """Compile ``logical`` to a range template, or None (fall back).
+
+    Same peeling as :func:`recognize` (Limit, plain-column Project,
+    Filter over a served IndexedRelation) but requires a range/prefix
+    bound on the index key instead of an equality. A condition that *also*
+    pins the key by equality returns None — the point fast path is
+    strictly better there, and this keeps recognition order-independent.
+    """
+    limit: "int | None" = None
+    plan = logical
+    if isinstance(plan, Limit):
+        limit, plan = plan.n, plan.child
+    projected: "list[str] | None" = None
+    if isinstance(plan, Project):
+        projected = []
+        for e in plan.exprs:
+            if not isinstance(e, Column):
+                return None
+            projected.append(e.name)
+        plan = plan.child
+    if not isinstance(plan, Filter):
+        return None
+    matched = _match_served_relation(plan.child, catalog, served_views)
+    if matched is None:
+        return None
+    view, relation = matched
+    key_column = relation.idf.key_column
+    if _constrains_key(plan.condition, key_column):
+        return None  # the point fast path owns equality-pinned queries
+    if not _constrains_key_range(plan.condition, key_column):
+        return None
+    schema = relation.schema
+    try:
+        condition = resolve_expression(plan.condition, schema)
+        projection = (
+            tuple(schema.index_of(n) for n in projected) if projected is not None else None
+        )
+    except (AnalysisError, KeyError):
+        return None
+    counter = [0]
+    _count_params(plan.condition, counter)
+    return RangeTemplate(view, key_column, condition, projection, limit, counter[0])
 
 
 def _count_params(expr: Expression, counter: list) -> None:

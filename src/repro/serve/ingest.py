@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.indexed.indexed_dataframe import IndexedDataFrame
     from repro.serve.server import QueryServer
+    from repro.serve.stream_join import StreamWindowJoin
 
 
 class IngestLoop(threading.Thread):
@@ -48,6 +49,10 @@ class IngestLoop(threading.Thread):
         ``published - retain_versions`` are truncated. Must cover every
         version still being served; the served pin is always the newest,
         so any value >= 1 is safe here.
+    stream_joins:
+        :class:`~repro.serve.stream_join.StreamWindowJoin` instances whose
+        :meth:`~repro.serve.stream_join.StreamWindowJoin.probe` runs after
+        every publish, so joins emit against each new version as it lands.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class IngestLoop(threading.Thread):
         batches: Iterable[Sequence[tuple]],
         interval: float = 0.0,
         retain_versions: int = 2,
+        stream_joins: "Sequence[StreamWindowJoin] | None" = None,
     ) -> None:
         super().__init__(name=f"ingest-{view}", daemon=True)
         if retain_versions < 1:
@@ -66,6 +72,7 @@ class IngestLoop(threading.Thread):
         self.batches = batches
         self.interval = interval
         self.retain_versions = retain_versions
+        self.stream_joins = list(stream_joins or ())
         self.published_versions: list[int] = []
         self.rows_appended = 0
         self.rows_truncated = 0
@@ -91,6 +98,8 @@ class IngestLoop(threading.Thread):
                 self.published_versions.append(child.version)
                 self.rows_appended += len(rows)
                 registry.inc("serve_ingest_rows_total", len(rows), view=self.view)
+                for join in self.stream_joins:
+                    join.probe()
                 self.rows_truncated += self._truncate(child)
                 if self.interval:
                     time.sleep(self.interval)

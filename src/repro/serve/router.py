@@ -4,11 +4,13 @@ DESIGN.md §14. The router owns the control plane the shards deliberately
 don't have:
 
 * **Routing.** A query is recognized (via the plan cache) as a *point*
-  template (single-key ``=`` / ``IN``), a *scan* template, or neither.
-  Point keys route ``key -> split`` through the engine's hash partitioner
-  and ``split -> shard`` through the :class:`~repro.serve.shard.RoutingTable`;
-  scans fan out one live replica per split and merge; everything else
-  falls back to the session's general pipeline.
+  template (single-key ``=`` / ``IN``), a *range* template (``BETWEEN`` /
+  ``<`` / ``LIKE 'x%'`` on the key, served by each shard's ordered index),
+  a *scan* template, or neither. Point keys route ``key -> split`` through
+  the engine's hash partitioner and ``split -> shard`` through the
+  :class:`~repro.serve.shard.RoutingTable`; ranges and scans fan out one
+  live replica per split and merge; everything else falls back to the
+  session's general pipeline.
 * **Failover.** Shard health is a tiny state machine (ALIVE → SUSPECT →
   DEAD) driven by heartbeats and by :class:`~repro.serve.shard.ShardDown`
   observed on the data path. A dead shard's traffic moves to the next
@@ -52,8 +54,10 @@ from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.serve.fastpath import (
     FastPathTemplate,
+    RangeTemplate,
     ScanTemplate,
     recognize,
+    recognize_range,
     recognize_scan,
 )
 from repro.serve.server import ServeRejected
@@ -118,7 +122,7 @@ class RouterResult:
     """One answered (possibly partial) routed query."""
 
     rows: list[tuple]
-    #: "point" | "scan" | "general"
+    #: "point" | "range" | "scan" | "general"
     path: str
     #: Pinned MVCC version served (None for the general pipeline).
     snapshot_version: "int | None"
@@ -459,6 +463,8 @@ class ShardRouter:
         route = self._route_for(logical)
         if isinstance(route, FastPathTemplate):
             return self._run_point(route, params)
+        if isinstance(route, RangeTemplate):
+            return self._run_range(route, params)
         if isinstance(route, ScanTemplate):
             return self._run_scan(route, params)
         if statement is not None:
@@ -475,6 +481,8 @@ class ShardRouter:
             return None if entry.route_path is _NO_ROUTE else entry.route_path
         views = list(self._views)
         template: Any = recognize(logical, self.session.catalog, views)
+        if template is None:
+            template = recognize_range(logical, self.session.catalog, views)
         if template is None:
             template = recognize_scan(logical, self.session.catalog, views)
         if entry is not None:
@@ -691,6 +699,68 @@ class ShardRouter:
         return RouterResult(
             template.finish(rows),
             "scan",
+            state.version,
+            degraded=bool(missing),
+            missing_partitions=sorted(set(missing)),
+            failovers=failovers,
+        )
+
+    # -- internals: range path ----------------------------------------------------------
+
+    def _run_range(
+        self, template: RangeTemplate, params: "Sequence[Any] | None"
+    ) -> RouterResult:
+        """Fan a recognized key range out to one live replica per split.
+
+        Keys are hash-partitioned, so every split may hold range members —
+        the fan-out shape is the scan's (including its failover rounds);
+        shards prune rows with their ordered index instead of scanning.
+        """
+        state = self._views[template.view]
+        krange, residual = template.bind(params)
+        remaining = list(range(state.table.num_partitions))
+        rows: list[tuple] = []
+        missing: list[int] = []
+        failovers = 0
+        rounds = 0
+        while remaining and rounds <= len(self.shards):
+            rounds += 1
+            live = set(self.live_shards())
+            assignment, no_replica = state.table.scan_assignment(remaining, live)
+            missing.extend(no_replica)
+            if not assignment:
+                break
+            futures = {
+                self._pool.submit(
+                    self.shards[shard_id].range_scan,
+                    template.view,
+                    splits,
+                    krange,
+                    residual,
+                ): (shard_id, splits)
+                for shard_id, splits in assignment.items()
+            }
+            remaining = []
+            for fut in concurrent.futures.as_completed(futures):
+                shard_id, splits = futures[fut]
+                try:
+                    rows.extend(fut.result())
+                except ShardDown as exc:
+                    self._declare_dead(exc.shard_id, "observed on range scan")
+                    self.registry.inc("serve_shard_failovers_total")
+                    self.context.metrics.record_recovery(
+                        "shard_failover", detail=f"shard={exc.shard_id} range"
+                    )
+                    failovers += 1
+                    remaining.extend(splits)
+                except PartitionNotOwned:
+                    failovers += 1
+                    remaining.extend(splits)
+        missing.extend(remaining)
+        return RouterResult(
+            # Residual already ran shard-side; only project/limit remain.
+            template.finish(rows, None),
+            "range",
             state.version,
             degraded=bool(missing),
             missing_partitions=sorted(set(missing)),

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.engine.memory_manager import MemoryPressureError
-from repro.serve.fastpath import FastPathTemplate, recognize
+from repro.serve.fastpath import FastPathTemplate, RangeTemplate, recognize, recognize_range
 from repro.serve.snapshot import PinnedSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -369,7 +369,8 @@ class QueryServer:
             if pin is not None:
                 rows = template.execute(pin, ticket.params)
                 total = time.perf_counter() - ticket.enqueued_at
-                return QueryResult(rows, "fastpath", pin.version, queued, total)
+                path = "range" if isinstance(template, RangeTemplate) else "fastpath"
+                return QueryResult(rows, path, pin.version, queued, total)
         if statement is not None:
             rows = statement.execute(ticket.params)
         else:
@@ -377,13 +378,15 @@ class QueryServer:
         total = time.perf_counter() - ticket.enqueued_at
         return QueryResult(rows, "general", None, queued, total)
 
-    def _fast_path_for(self, logical: Any) -> "FastPathTemplate | None":
+    def _fast_path_for(self, logical: Any) -> "FastPathTemplate | RangeTemplate | None":
         """The (memoized) fast-path template for a logical plan, if any.
 
-        Recognition results ride on the plan-cache entry (both positive
-        and negative), so they share its epoch invalidation: republishing
-        a view bumps the catalog epoch, evicts the entry, and the next
-        query re-recognizes against the new leaf.
+        Point lookups first, then single-range ordered-index scans (both
+        execute snapshot-side on the worker thread). Recognition results
+        ride on the plan-cache entry (both positive and negative), so they
+        share its epoch invalidation: republishing a view bumps the catalog
+        epoch, evicts the entry, and the next query re-recognizes against
+        the new leaf.
         """
         if not self.config.enable_fastpath:
             return None
@@ -392,7 +395,10 @@ class QueryServer:
             return None if entry.fast_path is _NO_FAST_PATH else entry.fast_path
         with self._pins_lock:
             views = list(self._pins)
-        template = recognize(logical, self.session.catalog, views)
+        catalog = self.session.catalog
+        template = recognize(logical, catalog, views) or recognize_range(
+            logical, catalog, views
+        )
         if entry is not None:
             entry.fast_path = template if template is not None else _NO_FAST_PATH
         return template

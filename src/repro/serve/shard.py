@@ -207,6 +207,46 @@ class ShardServer:
 
         return self._serve(view, run, op="scan")
 
+    def range_scan(
+        self,
+        view: str,
+        splits: Iterable[int],
+        krange: Any,
+        residual: "Expression | None" = None,
+    ) -> list[tuple]:
+        """Rows of the given owned splits whose key falls in ``krange``.
+
+        Hash partitioning scatters a key range over *all* splits, so the
+        router fans a range out exactly like a scan (one live replica per
+        split); the win is shard-local — each partition seeks its ordered
+        index (DESIGN.md §15) instead of decoding every row. The residual
+        predicate is evaluated shard-side so only matching rows cross the
+        (simulated) wire.
+        """
+
+        def run(snap: ShardSnapshot) -> list[tuple]:
+            rows: list[tuple] = []
+            for split in splits:
+                part = snap.parts.get(split)
+                if part is None:
+                    raise PartitionNotOwned(self.shard_id, view, split)
+                if self.config.scan_service_time:
+                    time.sleep(self.config.scan_service_time)
+                range_lookup = getattr(part, "range_lookup", None)
+                if range_lookup is not None:
+                    part_rows, _scanned = range_lookup(krange)
+                else:  # columnar partitions: scan + filter
+                    key_ord = part.key_ordinal
+                    part_rows = [
+                        r for r in part.scan_rows() if krange.matches(r[key_ord])
+                    ]
+                if residual is not None:
+                    part_rows = [r for r in part_rows if residual.eval(r)]
+                rows.extend(part_rows)
+            return rows
+
+        return self._serve(view, run, op="range")
+
     # -- health / lifecycle ----------------------------------------------------------
 
     @property

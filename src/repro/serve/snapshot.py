@@ -70,6 +70,26 @@ class PinnedSnapshot:
         split = self.partitioner.partition(key)
         return self.partitions[split].lookup(key)
 
+    def range_lookup(self, krange: Any) -> tuple[list[tuple], int]:
+        """All rows whose key falls in ``krange`` at this version, plus the
+        number of rows decoded. Keys are hash-partitioned, so the range
+        spans every partition: each one seeks its ordered index (DESIGN.md
+        §15) — no job, no scheduler, same as :meth:`lookup`."""
+        rows: list[tuple] = []
+        scanned = 0
+        for part in self.partitions:
+            range_lookup = getattr(part, "range_lookup", None)
+            if range_lookup is not None:
+                part_rows, part_scanned = range_lookup(krange)
+            else:  # columnar partitions: scan + filter
+                all_rows = part.scan_rows()
+                key_ord = part.key_ordinal
+                part_rows = [r for r in all_rows if krange.matches(r[key_ord])]
+                part_scanned = len(all_rows)
+            rows.extend(part_rows)
+            scanned += part_scanned
+        return rows, scanned
+
     def row_count(self) -> int:
         return sum(p.row_count for p in self.partitions)
 

@@ -131,6 +131,13 @@ class Expression:
             values = tuple(values[0])
         return In(self, [Literal(v) for v in values])
 
+    def between(self, lo: Any, hi: Any) -> "And":
+        """SQL BETWEEN: inclusive on both bounds."""
+        return And(self._bin(lo, ">="), self._bin(hi, "<="))
+
+    def like(self, pattern: str) -> "Like":
+        return Like(self, pattern)
+
 
 def _to_expr(value: Any) -> Expression:
     return value if isinstance(value, Expression) else Literal(value)
@@ -374,6 +381,62 @@ class In(Expression):
 
     def __repr__(self) -> str:
         return f"({self.child!r} IN {sorted(map(repr, self._set))})"
+
+
+class Like(Expression):
+    """SQL ``LIKE``: ``%`` matches any run, ``_`` any single character.
+
+    The pattern is a plain string (not a sub-expression): prefix
+    recognition in the optimizer (``LIKE 'x%'`` -> ordered-index prefix
+    scan) needs the pattern statically, and none of the SQL surface
+    produces computed patterns.
+    """
+
+    def __init__(self, child: Expression, pattern: str, negated: bool = False) -> None:
+        import re
+
+        self.child = child
+        self.pattern = pattern
+        self.negated = negated
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+        )
+        self._re = re.compile(regex, re.DOTALL)
+
+    def children(self) -> list[Expression]:
+        return [self.child]
+
+    def with_children(self, children: list[Expression]) -> "Like":
+        return Like(children[0], self.pattern, self.negated)
+
+    def prefix(self) -> "str | None":
+        """The fixed prefix when the pattern is ``<literal>%`` (no other
+        wildcards) — the shape the ordered index can serve as a range."""
+        body = self.pattern[:-1]
+        if self.pattern.endswith("%") and "%" not in body and "_" not in body:
+            return body
+        return None
+
+    def eval(self, row: tuple) -> bool:
+        value = self.child.eval(row)
+        res = isinstance(value, str) and self._re.fullmatch(value) is not None
+        return not res if self.negated else res
+
+    def eval_vector(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        vals = self.child.eval_vector(columns)
+        fullmatch = self._re.fullmatch
+        res = np.fromiter(
+            (isinstance(v, str) and fullmatch(v) is not None for v in vals),
+            dtype=bool,
+            count=len(vals),
+        )
+        return ~res if self.negated else res
+
+    def data_type(self, schema: Schema) -> DataType:
+        return BOOLEAN
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} {'NOT ' if self.negated else ''}LIKE {self.pattern!r})"
 
 
 class IsNull(Expression):

@@ -28,6 +28,7 @@ from repro.sql.expressions import (
     Expression,
     In,
     IsNull,
+    Like,
     Literal,
     Max,
     Min,
@@ -66,7 +67,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "select", "from", "where", "group", "order", "by", "limit", "join",
     "inner", "left", "on", "as", "and", "or", "not", "in", "is", "null",
-    "asc", "desc", "having", "distinct",
+    "asc", "desc", "having", "distinct", "between", "like",
 }
 
 _AGGREGATES = {"sum": Sum, "count": Count, "min": Min, "max": Max, "avg": Avg}
@@ -284,13 +285,37 @@ class _Parser:
             self.next()
             op = "!=" if v == "<>" else v
             return BinaryOp(op, e, self.parse_additive())
+        # Postfix NOT: "x NOT BETWEEN ...", "x NOT LIKE ...", "x NOT IN (...)".
+        negated = False
+        if self.peek() == ("kw", "not") and self.tokens[self.pos + 1] in (
+            ("kw", "between"),
+            ("kw", "like"),
+            ("kw", "in"),
+        ):
+            self.next()
+            negated = True
+        if self.accept("kw", "between"):
+            # Bounds are additive expressions so the range's own AND does not
+            # swallow a following logical AND; SQL BETWEEN is inclusive on
+            # both ends (the boundary semantics DESIGN.md §15 pushes down).
+            lo = self.parse_additive()
+            self.expect("kw", "and")
+            hi = self.parse_additive()
+            rng = And(BinaryOp(">=", e, lo), BinaryOp("<=", e, hi))
+            return Not(rng) if negated else rng
+        if self.accept("kw", "like"):
+            k2, v2 = self.next()
+            if k2 != "string":
+                raise SQLParseError(f"LIKE pattern must be a string literal, got {v2!r}")
+            return Like(e, v2[1:-1].replace("''", "'"), negated=negated)
         if self.accept("kw", "in"):
             self.expect("op", "(")
             values = [self.parse_additive()]
             while self.accept("op", ","):
                 values.append(self.parse_additive())
             self.expect("op", ")")
-            return In(e, values)
+            in_expr = In(e, values)
+            return Not(in_expr) if negated else in_expr
         if self.accept("kw", "is"):
             negated = self.accept("kw", "not")
             self.expect("kw", "null")

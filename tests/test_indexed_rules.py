@@ -207,3 +207,153 @@ class TestResultEquivalence:
             assert sorted(got) == sorted(want)
         finally:
             session.context.config.broadcast_threshold = 10 * 1024 * 1024
+
+
+class TestExtractKeyRange:
+    """Range-predicate recognition feeding the ordered index (DESIGN.md §15)."""
+
+    def _extract(self, cond):
+        from repro.indexed.rules import extract_key_range
+
+        return extract_key_range(cond, "src")
+
+    def test_single_comparisons_keep_inclusivity(self):
+        kr, residual = self._extract(col("src") < 5)
+        assert residual is None and kr.hi == 5 and not kr.hi_inclusive
+        kr, _ = self._extract(col("src") <= 5)
+        assert kr.hi == 5 and kr.hi_inclusive
+        kr, _ = self._extract(col("src") > 5)
+        assert kr.lo == 5 and not kr.lo_inclusive
+        kr, _ = self._extract(col("src") >= 5)
+        assert kr.lo == 5 and kr.lo_inclusive
+
+    def test_literal_on_left_flips_operator(self):
+        kr, _ = self._extract(lit(5) < col("src"))
+        assert kr.lo == 5 and not kr.lo_inclusive
+
+    def test_between_shape_intersects_both_bounds(self):
+        kr, residual = self._extract(col("src").between(3, 7))
+        assert residual is None
+        assert (kr.lo, kr.lo_inclusive, kr.hi, kr.hi_inclusive) == (3, True, 7, True)
+
+    def test_equal_keys_at_both_bounds_is_a_point(self):
+        kr, _ = self._extract(col("src").between(5, 5))
+        assert not kr.is_empty() and kr.matches(5) and not kr.matches(6)
+
+    def test_reversed_bounds_claimed_as_empty_range(self):
+        kr, _ = self._extract(col("src").between(9, 2))
+        assert kr is not None and kr.is_empty()
+
+    def test_exclusive_pair_keeps_both_open_bounds(self):
+        # (5, 6) open: no integer inside; KeyRange is type-agnostic so it
+        # is not is_empty(), but neither endpoint may match.
+        kr, _ = self._extract((col("src") > 5) & (col("src") < 6))
+        assert not kr.matches(5) and not kr.matches(6)
+        assert (kr.lo_inclusive, kr.hi_inclusive) == (False, False)
+
+    def test_range_with_residual(self):
+        kr, residual = self._extract((col("src") >= 3) & (col("w") > 0.5))
+        assert kr.lo == 3 and residual is not None
+
+    def test_prefix_like_claimed(self):
+        kr, residual = self._extract(col("src").like("ab%"))
+        assert residual is None and kr.prefix == "ab"
+
+    def test_non_prefix_like_not_claimed(self):
+        kr, residual = self._extract(col("src").like("%ab"))
+        assert kr is None and residual is None
+
+    def test_non_key_comparison_not_claimed(self):
+        kr, residual = self._extract(col("w") > 0.5)
+        assert kr is None and residual is None
+
+    def test_equality_not_claimed_by_range_extractor(self):
+        kr, _ = self._extract(col("src") == 5)
+        assert kr is None
+
+    def test_incompatible_conjunct_stays_residual(self):
+        # prefix LIKE cannot intersect a numeric range: one claims, the
+        # other must remain a residual filter, never be dropped.
+        kr, residual = self._extract(col("src").like("ab%") & (col("src") > 5))
+        assert kr is not None and residual is not None
+
+
+class TestRangePlanSelection:
+    def _plan(self, session, df):
+        return session.plan_physical(df.plan)
+
+    def test_between_uses_range_scan(self, setup):
+        from repro.indexed.operators import IndexedRangeScanExec
+
+        session, _, _ = setup
+        p = self._plan(
+            session, session.sql("SELECT * FROM edges_idx WHERE src BETWEEN 10 AND 20")
+        )
+        assert isinstance(p, IndexedRangeScanExec)
+        assert "IndexedRangeScan" in p.tree_string()
+
+    def test_range_with_residual_keeps_filter(self, setup):
+        from repro.indexed.operators import IndexedRangeScanExec
+
+        session, _, _ = setup
+        p = self._plan(
+            session,
+            session.sql("SELECT * FROM edges_idx WHERE src < 20 AND w > 0.5"),
+        )
+        assert isinstance(p, FilterExec)
+        assert isinstance(p.child, IndexedRangeScanExec)
+
+    def test_equality_still_prefers_point_lookup(self, setup):
+        session, _, _ = setup
+        p = self._plan(
+            session, session.sql("SELECT * FROM edges_idx WHERE src = 5 AND src < 20")
+        )
+        tree = p.tree_string()
+        assert "IndexedLookup" in tree and "IndexedRangeScan" not in tree
+
+
+class TestRangeBoundaryResults:
+    """End-to-end bound handling: < and <= must never be conflated, empty
+    and reversed ranges return exactly nothing."""
+
+    def test_half_open_vs_closed_at_occupied_boundary(self, setup):
+        session, rows, _ = setup
+        lt = session.sql("SELECT src FROM edges_idx WHERE src < 30").collect_tuples()
+        le = session.sql("SELECT src FROM edges_idx WHERE src <= 30").collect_tuples()
+        assert sorted(lt) == sorted((r[0],) for r in rows if r[0] < 30)
+        assert sorted(le) == sorted((r[0],) for r in rows if r[0] <= 30)
+        boundary = sum(1 for r in rows if r[0] == 30)
+        assert boundary > 0 and len(le) - len(lt) == boundary
+
+    def test_equal_keys_at_both_bounds(self, setup):
+        session, rows, _ = setup
+        got = session.sql(
+            "SELECT src, dst FROM edges_idx WHERE src BETWEEN 7 AND 7"
+        ).collect_tuples()
+        assert sorted(got) == sorted((r[0], r[1]) for r in rows if r[0] == 7)
+
+    def test_reversed_bounds_return_nothing(self, setup):
+        session, _, _ = setup
+        assert (
+            session.sql("SELECT * FROM edges_idx WHERE src BETWEEN 40 AND 10").collect_tuples()
+            == []
+        )
+
+    def test_exclusive_empty_range(self, setup):
+        session, _, _ = setup
+        got = session.sql(
+            "SELECT * FROM edges_idx WHERE src > 10 AND src < 11"
+        ).collect_tuples()
+        assert got == []
+
+    def test_range_scan_metrics_scanned_vs_matched(self, setup):
+        session, rows, _ = setup
+        reg = session.context.registry
+        session.sql("SELECT src FROM edges_idx WHERE src BETWEEN 10 AND 19").collect_tuples()
+        matched = sum(1 for r in rows if 10 <= r[0] <= 19)
+        assert reg.counter_total("ordered_index_range_scans_total") >= 1
+        assert reg.counter_total("ordered_index_rows_matched_total") == matched
+        # Integer keys cannot collide, so the seek decodes only matches.
+        assert reg.counter_total("ordered_index_rows_scanned_total") == matched
+        stats = reg.histogram_stats("ordered_index_range_selectivity")
+        assert stats["count"] >= 1

@@ -1,0 +1,174 @@
+"""Ordered secondary index unit tests: KeyRange semantics and the
+two-level (sorted base + unsorted pending) OrderedIndex structure.
+
+The oracle for every range test is a brute-force filter of the same key
+set with :meth:`KeyRange.matches` — the exact predicate the SQL layer
+pushes down — so seek logic and bound handling can never drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.indexed.ordered_index import KeyRange, OrderedIndex
+
+
+def oracle(keys, krange):
+    return sorted(k for k in set(keys) if krange.matches(k))
+
+
+class TestKeyRange:
+    def test_between_is_inclusive_both_ends(self):
+        kr = KeyRange(lo=5, hi=10)
+        assert kr.matches(5) and kr.matches(10) and kr.matches(7)
+        assert not kr.matches(4) and not kr.matches(11)
+
+    def test_exclusive_bounds_never_conflated_with_inclusive(self):
+        lt = KeyRange(hi=10, hi_inclusive=False)
+        le = KeyRange(hi=10)
+        assert le.matches(10) and not lt.matches(10)
+        gt = KeyRange(lo=5, lo_inclusive=False)
+        ge = KeyRange(lo=5)
+        assert ge.matches(5) and not gt.matches(5)
+
+    def test_equal_keys_at_both_bounds(self):
+        point = KeyRange(lo=7, hi=7)
+        assert point.matches(7) and not point.is_empty()
+        assert not point.matches(6) and not point.matches(8)
+
+    def test_equal_bounds_with_either_open_end_is_empty(self):
+        assert KeyRange(lo=7, hi=7, lo_inclusive=False).is_empty()
+        assert KeyRange(lo=7, hi=7, hi_inclusive=False).is_empty()
+
+    def test_reversed_bounds_are_empty(self):
+        assert KeyRange(lo=10, hi=5).is_empty()
+        assert not KeyRange(lo=5, hi=10).is_empty()
+
+    def test_prefix(self):
+        kr = KeyRange.prefix_of("user01")
+        assert kr.matches("user01") and kr.matches("user0199")
+        assert not kr.matches("user02") and not kr.matches("user0")
+        assert not kr.matches(42)  # non-strings never match a prefix
+
+    def test_intersect_picks_tighter_bounds(self):
+        merged = KeyRange(lo=0, hi=100).intersect(KeyRange(lo=10, hi=50, hi_inclusive=False))
+        assert merged.lo == 10 and merged.hi == 50 and not merged.hi_inclusive
+        # Same bound: exclusive wins (it is the tighter constraint).
+        merged = KeyRange(lo=10).intersect(KeyRange(lo=10, lo_inclusive=False))
+        assert merged.lo == 10 and not merged.lo_inclusive
+
+    def test_intersect_prefix_with_incompatible_range_is_none(self):
+        assert KeyRange.prefix_of("abc").intersect(KeyRange(lo=1, hi=9)) is None
+
+    def test_intersect_prefix_with_extending_prefix(self):
+        merged = KeyRange.prefix_of("ab").intersect(KeyRange.prefix_of("abc"))
+        assert merged is not None and merged.prefix == "abc"
+        assert KeyRange.prefix_of("ab").intersect(KeyRange.prefix_of("xy")) is None
+
+
+class TestOrderedIndex:
+    def test_add_dedups_and_orders(self):
+        idx = OrderedIndex()
+        for k in [5, 3, 5, 9, 3, 1, 9, 9]:
+            idx.add(k)
+        assert list(idx.iter_keys()) == [1, 3, 5, 9]
+        assert len(idx) == 4
+        assert 5 in idx and 4 not in idx
+        assert idx.min_key() == 1 and idx.max_key() == 9
+
+    def test_compaction_threshold_merges_pending_into_base(self):
+        idx = OrderedIndex(compact_threshold=8)
+        keys = list(range(100))
+        random.Random(0).shuffle(keys)
+        for k in keys:
+            idx.add(k)
+        assert list(idx.iter_keys()) == list(range(100))
+        # Pending stays bounded by the threshold.
+        assert len(idx._pending) <= 8
+
+    @pytest.mark.parametrize("threshold", [1, 2, 7, 512])
+    def test_range_keys_matches_oracle_across_thresholds(self, threshold):
+        rng = random.Random(41)
+        idx = OrderedIndex(compact_threshold=threshold)
+        keys = [rng.randrange(0, 200) for _ in range(300)]
+        for k in keys:
+            idx.add(k)
+        for _ in range(200):
+            a, b = rng.randrange(0, 200), rng.randrange(0, 200)
+            kr = KeyRange(
+                lo=a,
+                hi=b,
+                lo_inclusive=rng.random() < 0.5,
+                hi_inclusive=rng.random() < 0.5,
+            )
+            assert idx.range_keys(kr) == oracle(keys, kr), kr.describe()
+
+    def test_range_keys_open_ended_and_empty(self):
+        idx = OrderedIndex()
+        for k in [2, 4, 6, 8]:
+            idx.add(k)
+        assert idx.range_keys(KeyRange(lo=5)) == [6, 8]
+        assert idx.range_keys(KeyRange(hi=5)) == [2, 4]
+        assert idx.range_keys(KeyRange()) == [2, 4, 6, 8]
+        assert idx.range_keys(KeyRange(lo=8, hi=2)) == []  # reversed
+        assert idx.range_keys(KeyRange(lo=3, hi=3)) == []  # empty point
+
+    def test_prefix_range_keys(self):
+        idx = OrderedIndex()
+        keys = ["apple", "apricot", "banana", "app", "application", "ap"]
+        for k in keys:
+            idx.add(k)
+        kr = KeyRange.prefix_of("app")
+        assert idx.range_keys(kr) == ["app", "apple", "application"]
+        assert idx.range_keys(KeyRange.prefix_of("z")) == []
+
+    def test_snapshot_isolated_from_later_adds(self):
+        idx = OrderedIndex(compact_threshold=4)
+        for k in [10, 20, 30]:
+            idx.add(k)
+        snap = idx.snapshot()
+        for k in [5, 15, 25, 35, 45, 55]:  # crosses a compaction
+            idx.add(k)
+        assert list(snap.iter_keys()) == [10, 20, 30]
+        assert list(idx.iter_keys()) == [5, 10, 15, 20, 25, 30, 35, 45, 55]
+
+    def test_copy_is_fully_independent(self):
+        idx = OrderedIndex()
+        idx.add(1)
+        clone = idx.copy()
+        clone.add(2)
+        idx.add(3)
+        assert list(idx.iter_keys()) == [1, 3]
+        assert list(clone.iter_keys()) == [1, 2]
+
+    def test_concurrent_readers_during_adds_and_compactions(self):
+        """Readers may see an in-flight key or not, but never lose a key
+        that was added before their scan started, and never crash."""
+        idx = OrderedIndex(compact_threshold=16)
+        for k in range(0, 1000, 2):
+            idx.add(k)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            kr = KeyRange(lo=100, hi=299)
+            baseline = [k for k in range(100, 300, 2)]
+            while not stop.is_set():
+                got = idx.range_keys(kr)
+                if not set(baseline).issubset(got):
+                    errors.append((baseline, got))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for k in range(1, 1000, 2):  # odd keys interleave everywhere
+            idx.add(k)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert list(idx.iter_keys()) == list(range(1000))

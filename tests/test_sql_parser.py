@@ -148,3 +148,64 @@ class TestQueryShapes:
 
     def test_string_and_float_literals(self, catalog):
         parse_query("SELECT * FROM t WHERE name = 'abc' AND v > 1.25", catalog)
+
+
+class TestRangePredicates:
+    """BETWEEN / LIKE surface syntax (ordered-index range pushdown feeds
+    on these shapes; bound inclusivity must survive parsing exactly)."""
+
+    def test_between_desugars_to_inclusive_conjunction(self, catalog):
+        from repro.sql.expressions import And, BinaryOp
+
+        plan = parse_query("SELECT * FROM t WHERE id BETWEEN 3 AND 7", catalog)
+        cond = plan.condition
+        assert isinstance(cond, And)
+        assert isinstance(cond.left, BinaryOp) and cond.left.op == ">="
+        assert isinstance(cond.right, BinaryOp) and cond.right.op == "<="
+
+    def test_between_binds_tighter_than_logical_and(self, catalog):
+        from repro.sql.expressions import And
+
+        plan = parse_query(
+            "SELECT * FROM t WHERE id BETWEEN 1 AND 5 AND v > 2", catalog
+        )
+        cond = plan.condition
+        # (id BETWEEN 1 AND 5) AND (v > 2): the BETWEEN's AND is consumed
+        # by the BETWEEN, the second AND is the logical conjunction.
+        assert isinstance(cond, And) and isinstance(cond.left, And)
+
+    def test_not_between(self, catalog):
+        from repro.sql.expressions import Not
+
+        plan = parse_query("SELECT * FROM t WHERE id NOT BETWEEN 3 AND 7", catalog)
+        assert isinstance(plan.condition, Not)
+
+    def test_between_with_reversed_and_equal_bounds_parses(self, catalog):
+        parse_query("SELECT * FROM t WHERE id BETWEEN 7 AND 3", catalog)
+        parse_query("SELECT * FROM t WHERE id BETWEEN 5 AND 5", catalog)
+
+    def test_like_produces_like_expression(self, catalog):
+        from repro.sql.expressions import Like
+
+        plan = parse_query("SELECT * FROM t WHERE name LIKE 'ab%'", catalog)
+        assert isinstance(plan.condition, Like)
+        assert plan.condition.prefix() == "ab"
+
+    def test_not_like_is_negated(self, catalog):
+        from repro.sql.expressions import Like
+
+        plan = parse_query("SELECT * FROM t WHERE name NOT LIKE 'ab%'", catalog)
+        assert isinstance(plan.condition, Like) and plan.condition.negated
+
+    def test_like_pattern_with_escaped_quote(self, catalog):
+        from repro.sql.expressions import Like
+
+        plan = parse_query("SELECT * FROM t WHERE name LIKE 'it''s%'", catalog)
+        assert isinstance(plan.condition, Like)
+        assert plan.condition.pattern == "it's%"
+
+    def test_like_requires_string_literal(self, catalog):
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM t WHERE name LIKE 5", catalog)
+        with pytest.raises(SQLParseError):
+            parse_query("SELECT * FROM t WHERE name LIKE id", catalog)
