@@ -1,0 +1,309 @@
+"""Integrity smoke: checksum overhead, detection -> repair latency, ledger.
+
+Three sections, all gated (non-zero exit on failure):
+
+* **Overhead** — the fig08 operator mix (scan + filter + aggregate over an
+  indexed SNB edge relation) with ``integrity_checks`` on vs off, same
+  data, same plans. Checksums are computed once at batch-seal time and
+  verified only at trust boundaries — never on the in-memory read path —
+  so the gate is tight: the checked engine must stay within
+  ``OVERHEAD_GATE`` (10%) of the unchecked one.
+* **Detection -> repair latency** — two paths, each timed end to end from
+  the first read of damaged bytes to a verified correct answer:
+  the *lineage* path (a spilled batch damaged on disk: fault-in raises
+  ``CorruptBlockError``, quarantine, rebuild from lineage, retry), and
+  the *scrub* path (a pinned serve snapshot damaged in memory: one
+  scrubber cycle finds and repairs it).
+* **Ledger** — after the chaos runs, every detection has a matching
+  repair: ``corruption_detected_total == corruption_repaired_total``,
+  and both paths returned byte-correct answers.
+
+Writes ``BENCH_PR9.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/integrity_smoke.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import build_pair  # noqa: E402
+from repro.config import Config  # noqa: E402
+from repro.integrity import set_integrity_enabled  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, Schema  # noqa: E402
+from repro.workloads.snb import EDGE_SCHEMA, generate_snb_edges  # noqa: E402
+
+PLAIN_SCHEMA = Schema.of(("src", LONG), ("dst", LONG), ("w", DOUBLE))
+N_ROWS = 30_000
+REPEATS = 7
+OVERHEAD_GATE = 0.10  # checked engine within 10% of unchecked
+
+
+def snb_edges() -> list[tuple]:
+    return generate_snb_edges(
+        scale_factor=max(1, N_ROWS // 1000), n_persons=max(64, N_ROWS // 100)
+    )
+
+
+def fig08_queries(session) -> int:
+    n = len(session.sql("SELECT edge_source, edge_dest FROM edges_idx").collect_tuples())
+    n += len(session.sql("SELECT * FROM edges_idx WHERE edge_source = 7").collect_tuples())
+    n += len(session.sql("SELECT avg(weight) FROM edges_idx").collect_tuples())
+    return n
+
+
+def build_overhead_engine(checks: bool, edges: list[tuple]) -> tuple[Session, float]:
+    """Build the fig08 pair with integrity on or off, timing the build
+    (seal-time checksumming is where the real cost lives)."""
+    set_integrity_enabled(checks)
+    t0 = time.perf_counter()
+    pair = build_pair(
+        edges,
+        EDGE_SCHEMA,
+        "edge_source",
+        config=Config(
+            default_parallelism=8,
+            shuffle_partitions=8,
+            row_batch_size=256 * 1024,
+            scheduler_mode="sequential",
+            integrity_checks=checks,
+        ),
+    )
+    pair.indexed.cache_index()
+    build_s = time.perf_counter() - t0
+    pair.indexed.create_or_replace_temp_view("edges_idx")
+    return pair.session, build_s
+
+
+def measure_overhead(edges: list[tuple]) -> tuple[dict, dict]:
+    """Time the fig08 operator mix on a checked and an unchecked engine.
+
+    The iterations are **interleaved** (checked, unchecked, checked, ...)
+    rather than run as two back-to-back blocks: whichever engine runs
+    first pays allocator/page-cache warmup for both, which at this scale
+    is larger than the effect under measurement. ``integrity_checks`` is a
+    process-global fast path, so the toggle is flipped to match the engine
+    before every timed iteration."""
+    engines = {
+        "checked": (True, *build_overhead_engine(True, edges)),
+        "unchecked": (False, *build_overhead_engine(False, edges)),
+    }
+    times: dict[str, list[float]] = {name: [] for name in engines}
+    rows: dict[str, int] = {}
+    for name, (checks, session, _build_s) in engines.items():
+        set_integrity_enabled(checks)
+        rows[name] = fig08_queries(session)  # warm plans and caches
+    for _ in range(REPEATS):
+        for name, (checks, session, _build_s) in engines.items():
+            set_integrity_enabled(checks)
+            t0 = time.perf_counter()
+            rows[name] = fig08_queries(session)
+            times[name].append(time.perf_counter() - t0)
+
+    out = {}
+    for name, (checks, _session, build_s) in engines.items():
+        median = statistics.median(times[name])
+        out[name] = {
+            "median_s": median,
+            "build_s": build_s,
+            "repeats": REPEATS,
+            "rows_per_iter": rows[name],
+        }
+        print(
+            f"{name:>12}: fig08 mix median {median * 1e3:8.2f} ms, "
+            f"build {build_s * 1e3:7.1f} ms  ({rows[name]} rows/iter)"
+        )
+    return out["checked"], out["unchecked"]
+
+
+def lineage_repair_latency() -> dict:
+    """Damage a spilled batch on disk; time the first query that faults it
+    in — detect, quarantine, rebuild from lineage, answer — vs a clean
+    baseline query on the same engine."""
+    from repro.integrity import corrupt_file
+
+    rows = [(i % 50, i, float(i)) for i in range(20_000)]
+    spill_dir = tempfile.mkdtemp(prefix="repro-integrity-smoke-")
+    session = Session(
+        config=Config(
+            default_parallelism=2,
+            shuffle_partitions=2,
+            row_batch_size=4096,
+            spill_dir=spill_dir,
+            task_retry_backoff=0.0,
+        )
+    )
+    idf = (
+        session.create_dataframe(rows, PLAIN_SCHEMA, "edges")
+        .create_index("src")
+        .cache_index()
+    )
+    want = sorted(t for t in rows if t[0] == 7)
+
+    # Clean baseline: spill, then a lookup that faults batches back in.
+    idf.spill_index()
+    t0 = time.perf_counter()
+    assert sorted(idf.lookup_tuples(7)) == want
+    baseline_s = time.perf_counter() - t0
+
+    # Damaged run: spill again, flip bits in every spill file, same lookup.
+    idf.spill_index()
+    spilled = list(Path(spill_dir).glob("**/*.spill"))
+    for path in spilled:
+        corrupt_file(str(path), path.stat().st_size, "bit_flip")
+    t0 = time.perf_counter()
+    got = sorted(idf.lookup_tuples(7))
+    repair_s = time.perf_counter() - t0
+
+    reg = session.context.registry
+    out = {
+        "spill_files_damaged": len(spilled),
+        "baseline_lookup_ms": baseline_s * 1e3,
+        "detect_repair_lookup_ms": repair_s * 1e3,
+        "detected": reg.counter_total("corruption_detected_total"),
+        "repaired": reg.counter_total("corruption_repaired_total"),
+        "correct": got == want,
+    }
+    print(
+        f"     lineage: {out['detect_repair_lookup_ms']:.2f} ms damaged lookup "
+        f"(clean {out['baseline_lookup_ms']:.2f} ms), "
+        f"{out['detected']:.0f} detected / {out['repaired']:.0f} repaired"
+    )
+    return out
+
+
+def scrub_repair_latency() -> dict:
+    """Damage a pinned serve snapshot in memory; time one scrubber cycle
+    that finds and repairs it, then verify the served answer."""
+    from repro.integrity import corrupt_buffer
+    from repro.serve.scrub import SnapshotScrubber
+    from repro.serve.server import QueryServer
+
+    rows = [(i % 50, i, float(i)) for i in range(20_000)]
+    session = Session(
+        config=Config(
+            default_parallelism=4,
+            shuffle_partitions=4,
+            row_batch_size=4096,
+            task_retry_backoff=0.0,
+        )
+    )
+    idf = (
+        session.create_dataframe(rows, PLAIN_SCHEMA, "edges")
+        .create_index("src")
+        .cache_index()
+    )
+    server = QueryServer(session)
+    server.publish("v", idf)
+    scrub = SnapshotScrubber(server)
+
+    t0 = time.perf_counter()
+    clean = scrub.scrub_once()
+    clean_s = time.perf_counter() - t0
+
+    part = server.pinned("v").partitions[0]
+    for batch, wm in zip(part.batches, part.visible_watermarks()):
+        if wm:
+            corrupt_buffer(batch.buf, wm, "bit_flip")
+            break
+    t0 = time.perf_counter()
+    stats = scrub.scrub_once()
+    repair_s = time.perf_counter() - t0
+
+    want = sorted(t for t in rows if t[0] == 7)
+    correct = sorted(server.pinned("v").lookup(7)) == want
+    out = {
+        "clean_cycle_ms": clean_s * 1e3,
+        "detect_repair_cycle_ms": repair_s * 1e3,
+        "found": stats["found"],
+        "repaired": stats["repaired"],
+        "partitions": stats["partitions"],
+        "correct": correct,
+    }
+    print(
+        f"       scrub: {out['detect_repair_cycle_ms']:.2f} ms repair cycle "
+        f"(clean {out['clean_cycle_ms']:.2f} ms), "
+        f"found={stats['found']} repaired={stats['repaired']}"
+    )
+    return out
+
+
+def main() -> int:
+    failures: list[str] = []
+    edges = snb_edges()
+
+    try:
+        checked, unchecked = measure_overhead(edges)
+    finally:
+        set_integrity_enabled(True)  # never leave the global off
+    overhead = checked["median_s"] / unchecked["median_s"] - 1.0
+    build_overhead = checked["build_s"] / unchecked["build_s"] - 1.0
+    print(
+        f"    overhead: {overhead:+.1%} on the query mix "
+        f"(gate: <= {OVERHEAD_GATE:.0%}), {build_overhead:+.1%} on index build"
+    )
+    if overhead > OVERHEAD_GATE:
+        failures.append(
+            f"integrity-check overhead {overhead:.1%} exceeds {OVERHEAD_GATE:.0%}"
+        )
+
+    lineage = lineage_repair_latency()
+    if not lineage["correct"]:
+        failures.append("lineage path returned wrong rows after repair")
+    if not lineage["detected"]:
+        failures.append("damaged spill files were never detected")
+    if lineage["detected"] != lineage["repaired"]:
+        failures.append(
+            f"lineage ledger unbalanced: {lineage['detected']:.0f} detected, "
+            f"{lineage['repaired']:.0f} repaired"
+        )
+
+    scrub = scrub_repair_latency()
+    if not scrub["correct"]:
+        failures.append("scrub path served wrong rows after repair")
+    if scrub["found"] != 1 or scrub["repaired"] != 1:
+        failures.append(
+            f"scrub cycle found={scrub['found']} repaired={scrub['repaired']}, expected 1/1"
+        )
+
+    bench = {
+        "workload": {"rows": N_ROWS, "queries": "fig08 operator mix", "repeats": REPEATS},
+        "overhead": {
+            "checked": checked,
+            "unchecked": unchecked,
+            "relative_overhead": overhead,
+            "build_overhead": build_overhead,
+            "gate": OVERHEAD_GATE,
+        },
+        "lineage_repair": lineage,
+        "scrub_repair": scrub,
+        "ok": not failures,
+    }
+    out = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+    )
+    out.write_text(json.dumps(bench, indent=2, default=str) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("integrity smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

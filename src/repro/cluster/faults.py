@@ -112,6 +112,17 @@ class FaultInjector:
     #: exist to beat. Keyed by (shard_id, shard-local op index).
     shard_straggler_prob: float = 0.0
     shard_straggler_delay: float = 0.05
+    #: Corruption chaos (DESIGN.md §16): probabilities that real bytes get
+    #: damaged at each integrity boundary — a shared-memory batch segment
+    #: after its dispatch handles are built (``corrupt_shm_prob``), a spill
+    #: file after it is written (``corrupt_spill_prob``), a staged shuffle
+    #: bucket at fetch time (``corrupt_fetch_prob``). The damage mode
+    #: (bit-flip / truncation / garbled header) is drawn from the same
+    #: site. Each injection must be *detected* by a checksum boundary and
+    #: repaired from lineage or a replica — never decoded into an answer.
+    corrupt_shm_prob: float = 0.0
+    corrupt_spill_prob: float = 0.0
+    corrupt_fetch_prob: float = 0.0
 
     _scheduled: list[tuple[Callable[[int], bool], str]] = field(default_factory=list)
     _fired: set[int] = field(default_factory=set)
@@ -130,6 +141,19 @@ class FaultInjector:
     #: One-shot targeted shard stragglers: shard_id -> delay seconds.
     _shard_delays: dict[int, float] = field(default_factory=dict)
     _fetch_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Per-(shuffle, reduce) fetch-corruption attempt counter: only a
+    #: reduce's *first* fetch can be corrupted, so the refetch after the
+    #: map recompute always reads clean bytes (transient by construction).
+    _fetch_corrupt_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Monotonic spill-write counter keying corrupt_spill draws.
+    _spill_writes: int = 0
+    #: The no-consecutive-corruption rule for spills: a rebuild's re-spill
+    #: directly follows the corrupted one, so suppressing back-to-back hits
+    #: guarantees repair converges even at probability 1.0.
+    _spill_corrupted_last: bool = False
+    #: Every corruption this injector fired: (site, mode) — test assertions
+    #: pair these with detection/repair counters.
+    corruptions: list[tuple[str, str]] = field(default_factory=list)
     #: shuffle_id -> first-seen dense index. Shuffle ids are allocated from a
     #: process-global counter, so the raw id is not stable across contexts;
     #: draws are keyed by this normalized index instead, making the fault
@@ -152,6 +176,9 @@ class FaultInjector:
         shard_kill_prob: float | None = None,
         shard_straggler_prob: float | None = None,
         shard_straggler_delay: float | None = None,
+        corrupt_shm_prob: float | None = None,
+        corrupt_spill_prob: float | None = None,
+        corrupt_fetch_prob: float | None = None,
     ) -> None:
         with self._lock:
             if seed is not None:
@@ -178,6 +205,12 @@ class FaultInjector:
                 self.shard_straggler_prob = shard_straggler_prob
             if shard_straggler_delay is not None:
                 self.shard_straggler_delay = shard_straggler_delay
+            if corrupt_shm_prob is not None:
+                self.corrupt_shm_prob = corrupt_shm_prob
+            if corrupt_spill_prob is not None:
+                self.corrupt_spill_prob = corrupt_spill_prob
+            if corrupt_fetch_prob is not None:
+                self.corrupt_fetch_prob = corrupt_fetch_prob
 
     # -- scheduled kills -----------------------------------------------------------
 
@@ -371,6 +404,76 @@ class FaultInjector:
                 delay = max(delay, self.shard_straggler_delay)
         return delay
 
+    # -- corruption chaos --------------------------------------------------------------
+
+    def _corruption_mode(self, *site: object) -> str:
+        """Damage pattern for one corruption, drawn at the decision site."""
+        from repro.integrity import CORRUPTION_MODES
+
+        i = int(_draw(self.seed, "corruptmode", *site) * len(CORRUPTION_MODES))
+        return CORRUPTION_MODES[min(i, len(CORRUPTION_MODES) - 1)]
+
+    def on_shm_dispatch(self, stage_id: int, split: int, attempt: int) -> "str | None":
+        """Corruption mode for this kernel dispatch's segment bytes, or None.
+
+        Only first attempts are corrupted (like ``task_failure_prob``): the
+        retry after the quarantine recomputes the partition into fresh
+        segments, which must decode clean for repair to mean anything.
+        """
+        if self.corrupt_shm_prob <= 0 or attempt != 0:
+            return None
+        if _draw(self.seed, "shmcorrupt", stage_id, split) < self.corrupt_shm_prob:
+            mode = self._corruption_mode("shm", stage_id, split)
+            with self._lock:
+                self.corruptions.append(("shm", mode))
+            return mode
+        return None
+
+    def on_spill_write(self) -> "str | None":
+        """Corruption mode for the spill file just written, or None.
+
+        Keyed by a monotonic spill counter (spill order is deterministic
+        per seed in sequential mode; in parallel modes the *count* of
+        corruptions is stable even when the victims vary). Back-to-back
+        corruptions are suppressed so a rebuilt block's re-spill lands
+        clean and recovery always converges.
+        """
+        if self.corrupt_spill_prob <= 0:
+            return None
+        with self._lock:
+            self._spill_writes += 1
+            n = self._spill_writes
+            if self._spill_corrupted_last:
+                self._spill_corrupted_last = False
+                return None
+            if _draw(self.seed, "spillcorrupt", n) < self.corrupt_spill_prob:
+                mode = self._corruption_mode("spill", n)
+                self._spill_corrupted_last = True
+                self.corruptions.append(("spill", mode))
+                return mode
+        return None
+
+    def on_fetch_corrupt(self, shuffle_id: int, reduce_id: int) -> "str | None":
+        """Corruption mode for this staged-bucket fetch, or None.
+
+        Only the first fetch of a (shuffle, reduce) pair can be corrupted;
+        the refetch after the map-stage recompute reads fresh bytes.
+        """
+        if self.corrupt_fetch_prob <= 0:
+            return None
+        with self._lock:
+            norm = self._shuffle_order.setdefault(shuffle_id, len(self._shuffle_order))
+            n = self._fetch_corrupt_counts.get((shuffle_id, reduce_id), 0) + 1
+            self._fetch_corrupt_counts[(shuffle_id, reduce_id)] = n
+        if n > 1:
+            return None
+        if _draw(self.seed, "fetchcorrupt", norm, reduce_id) < self.corrupt_fetch_prob:
+            mode = self._corruption_mode("fetch", norm, reduce_id)
+            with self._lock:
+                self.corruptions.append(("fetch", mode))
+            return mode
+        return None
+
     def on_fetch(self, shuffle_id: int, reduce_id: int) -> bool:
         """True when this fetch should fail flakily (map output intact)."""
         if self.fetch_failure_prob <= 0:
@@ -393,7 +496,11 @@ class FaultInjector:
             self._shard_delays.clear()
             self._fetch_counts.clear()
             self._shuffle_order.clear()
+            self._fetch_corrupt_counts.clear()
+            self.corruptions.clear()
             self._task_launches = 0
+            self._spill_writes = 0
+            self._spill_corrupted_last = False
             self.task_failure_prob = 0.0
             self.fetch_failure_prob = 0.0
             self.straggler_prob = 0.0
@@ -402,3 +509,6 @@ class FaultInjector:
             self.proc_kill_prob = 0.0
             self.shard_kill_prob = 0.0
             self.shard_straggler_prob = 0.0
+            self.corrupt_shm_prob = 0.0
+            self.corrupt_spill_prob = 0.0
+            self.corrupt_fetch_prob = 0.0

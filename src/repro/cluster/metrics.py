@@ -96,6 +96,15 @@ RECOVERY_EVENT_KINDS = (
     "shard_recovered",       # a dead shard restarted and re-pinned its partitions
     "hot_partition_replicated",  # popularity sketch promoted a partition R-ways
     "chaos_shard_kill",      # injected shard crash (kill-one-shard scenario)
+    "chaos_shm_corruption",  # injected bit damage in a dispatched shm segment
+    "chaos_spill_corruption",  # injected damage to a spill file on write
+    "chaos_fetch_corruption",  # injected damage to a staged shuffle bucket
+    "corrupt_block_quarantined",  # checksum mismatch: block dropped everywhere
+    "corrupt_block_rebuilt",  # quarantined block rebuilt from lineage
+    "corrupt_shuffle_payload",  # staged bucket failed verification at fetch
+    "corrupt_map_recomputed",  # corrupt map output refilled by recompute
+    "scrub_corruption_found",  # background scrubber caught a bad pinned batch
+    "scrub_corruption_repaired",  # scrubber restored a verified copy
 )
 
 

@@ -13,7 +13,7 @@ paper-shaped ones.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 KB = 1024
@@ -209,6 +209,21 @@ class Config:
     #: answering) — the condition hedged retries exist to beat.
     chaos_shard_straggler_prob: float = 0.0
     chaos_shard_straggler_delay: float = 0.05
+    #: Corruption chaos (DESIGN.md §16): probability that real bytes get
+    #: damaged (bit-flip / truncation / garbled header, drawn per site) in
+    #: a dispatched shared-memory batch segment, a just-written spill file,
+    #: or a staged shuffle bucket at fetch time. Every injection must be
+    #: caught by a checksum boundary and repaired from lineage or a
+    #: replica — never decoded into a wrong answer.
+    chaos_corrupt_shm_prob: float = 0.0
+    chaos_corrupt_spill_prob: float = 0.0
+    chaos_corrupt_fetch_prob: float = 0.0
+    #: CRC32 integrity checking of row batches at trust boundaries
+    #: (DESIGN.md §16). Process-global; off only for A/B overhead runs.
+    integrity_checks: bool = True
+    #: Seconds between serve-tier scrub cycles when a scrubber is started
+    #: in background mode; 0 keeps scrubbing manual (``scrub_once``).
+    scrub_interval: float = 0.0
     #: Per-executor cached-block budget in bytes; 0 = unbounded (no metering).
     executor_memory_bytes: int = 0
     #: Where spilled row batches live (None: the system temp directory).
@@ -232,6 +247,56 @@ class Config:
     def with_overrides(self, **kwargs: Any) -> "Config":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def validate(self) -> "Config":
+        """Reject out-of-range or inconsistent settings with a clear error.
+
+        Called by :class:`~repro.engine.context.EngineContext` on
+        construction, so a typo'd ``chaos_*_prob = 1.5`` fails loudly
+        instead of silently misbehaving deep inside the fault injector.
+        Returns self so call sites can chain.
+        """
+        problems: list[str] = []
+        for f in fields(self):
+            if f.name.endswith("_prob"):
+                value = getattr(self, f.name)
+                if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+                    problems.append(
+                        f"{f.name} must be a probability in [0.0, 1.0], got {value!r}"
+                    )
+        if not 0.0 <= self.chaos_memory_squeeze_factor <= 1.0:
+            problems.append(
+                "chaos_memory_squeeze_factor must be in [0.0, 1.0], "
+                f"got {self.chaos_memory_squeeze_factor!r}"
+            )
+        enums = (
+            ("scheduler_mode", ("sequential", "threads", "processes")),
+            ("shared_batches", ("auto", "on", "off")),
+            ("eviction_policy", ("lru", "reference_distance")),
+            ("index_storage_format", ("row", "columnar")),
+        )
+        for name, allowed in enums:
+            value = getattr(self, name)
+            if value not in allowed:
+                problems.append(f"{name} must be one of {allowed}, got {value!r}")
+        positive = (
+            "default_parallelism",
+            "row_batch_size",
+            "max_row_size",
+            "shuffle_partitions",
+            "partitions_per_core",
+        )
+        for name in positive:
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                problems.append(f"{name} must be a positive int, got {value!r}")
+        for name in ("chaos_straggler_delay", "chaos_shard_straggler_delay", "scrub_interval"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{name} must be >= 0, got {value!r}")
+        if problems:
+            raise ValueError("invalid Config: " + "; ".join(problems))
+        return self
 
     def get(self, key: str, default: Any = None) -> Any:
         """Look up an ad-hoc setting from :attr:`extra`."""

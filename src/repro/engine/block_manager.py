@@ -114,6 +114,10 @@ class BlockManagerMaster:
         #: evicted under memory pressure — consulted by the CacheManager to
         #: attribute recomputation cost to recovery.
         self._lost: set[BlockId] = set()
+        #: Blocks quarantined after a checksum mismatch (a subset of the
+        #: lost set, kept separately so the rebuild can be attributed to
+        #: corruption repair rather than plain recovery).
+        self._corrupt: set[BlockId] = set()
         self._lock = threading.Lock()
 
     def register(self, block_id: BlockId, executor_id: str) -> None:
@@ -122,6 +126,7 @@ class BlockManagerMaster:
             if executor_id not in locs:
                 locs.append(executor_id)
             self._lost.discard(block_id)
+            self._corrupt.discard(block_id)
 
     def locations(self, block_id: BlockId) -> list[str]:
         with self._lock:
@@ -151,6 +156,23 @@ class BlockManagerMaster:
                 if not locs:
                     del self._locations[block_id]
                     self._lost.add(block_id)
+
+    def mark_corrupt(self, block_id: BlockId) -> None:
+        """Quarantine: a checksum mismatch implicated this block. *Every*
+        location is dropped (unlike an eviction, no replica can be trusted
+        — MVCC copies share the damaged batch object), and the block joins
+        both the lost set (so the rebuild is recovery-attributed) and the
+        corrupt set (so it is attributed as a corruption repair)."""
+        with self._lock:
+            self._locations.pop(block_id, None)
+            self._lost.add(block_id)
+            self._corrupt.add(block_id)
+
+    def was_corrupt(self, block_id: BlockId) -> bool:
+        """True when the block was quarantined for corruption and not yet
+        rebuilt anywhere."""
+        with self._lock:
+            return block_id in self._corrupt
 
     def was_lost(self, block_id: BlockId) -> bool:
         """True when the block's last replica died and it has not yet been
@@ -249,6 +271,7 @@ class CacheManager:
             # work — record its cost against the in-flight job (this is the
             # index-recreation spike a Fig. 12 run attributes per query).
             was_lost = ctxm.block_manager_master.was_lost(block_id)
+            was_corrupt = ctxm.block_manager_master.was_corrupt(block_id)
             t0 = time.perf_counter()
             materialized = list(rdd.compute(split, ctx))
             elapsed = time.perf_counter() - t0
@@ -267,6 +290,19 @@ class CacheManager:
             if was_lost:
                 ctxm.metrics.record_recovery(
                     "block_recomputed",
+                    job_index=ctx.job_index,
+                    stage_id=ctx.stage_id,
+                    partition=split,
+                    executor_id=ctx.executor_id,
+                    seconds=elapsed,
+                    detail=f"rdd={rdd.rdd_id}",
+                )
+            if was_corrupt:
+                # The quarantined block now exists again with fresh bytes:
+                # this is the lineage half of the detect -> repair contract.
+                ctxm.registry.inc("corruption_repaired_total", how="lineage_rebuild")
+                ctxm.metrics.record_recovery(
+                    "corrupt_block_rebuilt",
                     job_index=ctx.job_index,
                     stage_id=ctx.stage_id,
                     partition=split,

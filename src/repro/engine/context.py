@@ -16,6 +16,11 @@ from repro.cluster.network import NetworkModel
 from repro.cluster.numa import NUMAModel
 from repro.cluster.topology import ClusterTopology, private_cluster
 from repro.config import Config
+from repro.integrity import (
+    CorruptBlockError,
+    set_integrity_enabled,
+    value_contains_corruption,
+)
 from repro.engine.block_manager import BlockManagerMaster, CacheManager
 from repro.engine.dag import DAGScheduler
 from repro.engine.executor import ExecutorRuntime
@@ -48,7 +53,8 @@ class EngineContext:
         network: NetworkModel | None = None,
         numa: NUMAModel | None = None,
     ) -> None:
-        self.config = config or Config()
+        self.config = (config or Config()).validate()
+        set_integrity_enabled(self.config.integrity_checks)
         self.topology = topology or private_cluster()
         self.network = network or NetworkModel()
         self.numa = numa or NUMAModel()
@@ -72,6 +78,9 @@ class EngineContext:
             shard_kill_prob=self.config.chaos_shard_kill_prob,
             shard_straggler_prob=self.config.chaos_shard_straggler_prob,
             shard_straggler_delay=self.config.chaos_shard_straggler_delay,
+            corrupt_shm_prob=self.config.chaos_corrupt_shm_prob,
+            corrupt_spill_prob=self.config.chaos_corrupt_spill_prob,
+            corrupt_fetch_prob=self.config.chaos_corrupt_fetch_prob,
         )
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
@@ -159,6 +168,65 @@ class EngineContext:
         for runtime in self.executors.values():
             runtime.block_manager.remove(block_id)
         self.block_manager_master.remove_rdd_block(block_id)
+
+    def quarantine_corrupt(
+        self,
+        exc: CorruptBlockError,
+        job_index: int = -1,
+        stage_id: "int | None" = None,
+        partition: "int | None" = None,
+        executor_id: "str | None" = None,
+    ) -> int:
+        """Drop every cached block referencing the corrupt bytes, everywhere.
+
+        MVCC versions share batch objects, so a single damaged batch (or
+        shared segment) can back several cached blocks; all of them are
+        removed from every executor and marked corrupt in the master —
+        the retry's cache miss then rebuilds them from lineage
+        (``corruption_repaired_total{how="lineage_rebuild"}`` attribution
+        happens in the cache manager when the rebuild lands). Returns the
+        number of blocks quarantined.
+        """
+        matched: set[tuple[int, int]] = set()
+        for runtime in self.executors.values():
+            manager = runtime.block_manager
+            for block_id in manager.block_ids():
+                value = manager.get(block_id)
+                if value is not None and value_contains_corruption(value, exc):
+                    matched.add(block_id)
+        for block_id in matched:
+            for runtime in self.executors.values():
+                runtime.block_manager.remove(block_id)
+            self.block_manager_master.mark_corrupt(block_id)
+        self.metrics.record_recovery(
+            "corrupt_block_quarantined",
+            job_index=job_index if job_index >= 0 else self._job_index,
+            stage_id=stage_id,
+            partition=partition,
+            executor_id=executor_id,
+            detail=f"where={exc.where} blocks={sorted(matched)}",
+        )
+        return len(matched)
+
+    def spill_corruption_hook(self, executor_id: "str | None" = None):
+        """Chaos hook for spill writes (``Config.chaos_corrupt_spill_prob``):
+        passed to ``spill_partition`` so every spill path — reactive memory
+        pressure and proactive ``spill_index`` alike — damages files under
+        the same seeded injector. None when the knob is off."""
+        if self.faults.corrupt_spill_prob <= 0:
+            return None
+
+        def hook(path: str) -> "str | None":
+            mode = self.faults.on_spill_write()
+            if mode:
+                self.metrics.record_recovery(
+                    "chaos_spill_corruption",
+                    executor_id=executor_id,
+                    detail=f"mode={mode} path={path}",
+                )
+            return mode
+
+        return hook
 
     def restart_executor(self, executor_id: str) -> None:
         """Bring a previously killed executor back (fresh, empty block store).

@@ -340,9 +340,25 @@ class MemoryManager:
                         spill_dir=self.spill_dir,
                         keep_tail=True,
                         on_fault=self._fault_listener,
+                        corruption_hook=self._spill_corruption_hook,
                     )
             span.set_attr("freed", freed)
         return freed
+
+    def _spill_corruption_hook(self, path: str) -> "str | None":
+        """Corruption chaos for one spill-file write: consult the injector,
+        record the injection, and return the damage mode (None = clean)."""
+        faults = self.context.faults
+        if faults.corrupt_spill_prob <= 0:
+            return None
+        mode = faults.on_spill_write()
+        if mode is not None:
+            self.context.metrics.record_recovery(
+                "chaos_spill_corruption",
+                executor_id=self.executor_id,
+                detail=f"mode={mode} path={path}",
+            )
+        return mode
 
     # -- chaos -----------------------------------------------------------------------
 

@@ -14,11 +14,14 @@ Dispatch protocol (one duplex pipe per worker, one request in flight):
 ``("schema", fp, schema, max_row_size)``
     Ship a schema once per worker; the worker builds and caches the
     compiled :class:`~repro.indexed.row_codec.RowCodec` under ``fp``.
-``("scan", fp, [(segment, visible), ...])``
+``("scan", fp, [(segment, visible, crc32), ...])``
     Decode every visible byte of the named segments with the batch kernel
     (``decode_all``); the request is a few hundred bytes no matter how many
-    megabytes of rows it references.
-``("chains", fp, [(segment, visible), ...], [head_pointer, ...])``
+    megabytes of rows it references. The worker re-computes each prefix
+    CRC over its own mapping first and answers ``status="corrupt"`` on a
+    mismatch — the driver turns that into a retryable
+    :class:`~repro.integrity.CorruptBlockError`.
+``("chains", fp, [(segment, visible, crc32), ...], [head_pointer, ...])``
     Attach the position-aligned segments and run the chain kernel
     (``decode_chain``) once per head pointer — the indexed-join probe path.
     The cTrie probes themselves stay on the driver (they are pointer
@@ -44,10 +47,12 @@ import pickle
 import secrets
 import threading
 import traceback
+import zlib
 from multiprocessing import get_context, shared_memory
 from queue import Queue
 from typing import Any
 
+from repro.integrity import CorruptBlockError
 from repro.indexed.shared_batches import SegmentCache
 
 #: Prefix of worker-created result segments (driver unlinks after reading).
@@ -56,6 +61,23 @@ RESULT_PREFIX = "repro-res-"
 
 class WorkerCrashed(RuntimeError):
     """A pool worker died mid-request; treat as an executor death."""
+
+
+def _verify_handles(cache: SegmentCache, handles) -> "tuple | None":
+    """Re-compute each handle's prefix CRC over the worker's own mapping.
+
+    This is the proc-attach trust boundary: the bytes crossed a process
+    border, so the driver-anchored checksum in the handle is checked before
+    any decode runs. Returns ``(name, visible, expected, actual)`` of the
+    first mismatch, or None when everything (with a checksum) verifies.
+    """
+    for name, visible, crc in handles:
+        if crc is None or not visible:
+            continue
+        actual = zlib.crc32(cache.view(name)[:visible])
+        if actual != crc:
+            return (name, visible, crc, actual)
+    return None
 
 
 def _worker_main(conn, result_shm_bytes: int) -> None:
@@ -85,13 +107,21 @@ def _worker_main(conn, result_shm_bytes: int) -> None:
             attaches_before = cache.attaches
             if op == "scan":
                 _, fp, handles = req
+                bad = _verify_handles(cache, handles)
+                if bad is not None:
+                    conn.send(("corrupt", bad, {"attaches": cache.attaches - attaches_before}))
+                    continue
                 decode_all = codecs[fp].decode_all
                 payload: Any = []
-                for name, visible in handles:
+                for name, visible, _crc in handles:
                     payload.extend(decode_all(cache.view(name), visible))
             elif op == "chains":
                 _, fp, handles, pointers = req
-                batches = [cache.batch(name, visible) for name, visible in handles]
+                bad = _verify_handles(cache, handles)
+                if bad is not None:
+                    conn.send(("corrupt", bad, {"attaches": cache.attaches - attaches_before}))
+                    continue
+                batches = [cache.batch(name, visible) for name, visible, _crc in handles]
                 decode_chain = codecs[fp].decode_chain
                 payload = [decode_chain(batches, p) for p in pointers]
                 # Drop the view slices now: anything still referencing the
@@ -219,6 +249,15 @@ class ProcessPool:
                 raise WorkerCrashed(
                     f"kernel worker pid={worker.proc.pid} died mid-request: {exc!r}"
                 ) from exc
+            if status == "corrupt":
+                name, visible, expected, actual = payload
+                raise CorruptBlockError(
+                    "proc_attach",
+                    detail=f"{visible} visible bytes",
+                    segment=name,
+                    expected=expected,
+                    actual=actual,
+                )
             if status == "err":
                 raise RuntimeError(f"kernel worker error:\n{payload}")
             if status == "shm":
@@ -258,7 +297,7 @@ class ProcessPool:
     def scan(self, schema, max_row_size: int, handles, *, chaos_kill: bool = False) -> tuple[list, dict]:
         """decode_all over the visible bytes of ``handles``; (rows, info)."""
         fp = self.fingerprint(schema, max_row_size)
-        wire = [(h.name, h.visible) for h in handles]
+        wire = [(h.name, h.visible, h.checksum) for h in handles]
         rows, info = self._execute(
             fp, schema, max_row_size, ("scan", fp, wire), chaos_kill=chaos_kill
         )
@@ -268,7 +307,7 @@ class ProcessPool:
     def chains(self, schema, max_row_size: int, handles, pointers, *, chaos_kill: bool = False) -> tuple[list, dict]:
         """decode_chain per head pointer; (list-of-chains, info)."""
         fp = self.fingerprint(schema, max_row_size)
-        wire = [(h.name, h.visible) for h in handles]
+        wire = [(h.name, h.visible, h.checksum) for h in handles]
         chains, info = self._execute(
             fp, schema, max_row_size, ("chains", fp, wire, list(pointers)), chaos_kill=chaos_kill
         )

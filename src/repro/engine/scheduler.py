@@ -85,6 +85,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.engine.dag import JobFailedError
 from repro.engine.shuffle import FetchFailedError
+from repro.integrity import CorruptBlockError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import EngineContext
@@ -646,6 +647,20 @@ class TaskScheduler:
             except (FetchFailedError, StageCancelled):
                 raise
             except Exception as exc:  # noqa: BLE001 - retry any task error
+                if isinstance(exc, CorruptBlockError):
+                    # A checksum tripped at a boundary inside this task:
+                    # count the detection, quarantine every cached block
+                    # referencing the damaged bytes, and fall through to
+                    # the normal retry — the rerun misses the cache and
+                    # rebuilds clean bytes from lineage.
+                    self.context.registry.inc("corruption_detected_total", where=exc.where)
+                    self.context.quarantine_corrupt(
+                        exc,
+                        job_index=job_index,
+                        stage_id=stage.stage_id,
+                        partition=split,
+                        executor_id=executor_id,
+                    )
                 attempt += 1
                 if attempt > cfg.max_task_retries:
                     raise TaskFailure(stage.stage_id, split, exc) from exc

@@ -15,11 +15,13 @@ import itertools
 import pickle
 import threading
 import weakref
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.engine.dependencies import ShuffleDependency
 from repro.engine.partition import TaskContext
+from repro.integrity import CorruptBlockError, integrity_enabled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import EngineContext
@@ -41,7 +43,7 @@ class ShmBucket:
     sweep covers interrupted runs.
     """
 
-    __slots__ = ("name", "nbytes", "count", "_shm", "_finalizer", "__weakref__")
+    __slots__ = ("name", "nbytes", "count", "checksum", "_shm", "_finalizer", "__weakref__")
 
     def __init__(self, rows: list[Any]) -> None:
         from repro.indexed.shared_batches import release_segment, stage_segment
@@ -51,11 +53,25 @@ class ShmBucket:
         self.name = shm.name
         self.nbytes = len(payload)
         self.count = len(rows)
+        #: CRC32 of the pickled payload at stage time, re-checked by every
+        #: reader before unpickling (the shuffle-transport trust boundary).
+        self.checksum = zlib.crc32(payload) if integrity_enabled() else None
         self._shm = shm
         self._finalizer = weakref.finalize(self, release_segment, self.name)
 
     def rows(self) -> list[Any]:
-        return pickle.loads(self._shm.buf[: self.nbytes])
+        data = self._shm.buf[: self.nbytes]
+        if self.checksum is not None:
+            actual = zlib.crc32(data)
+            if actual != self.checksum:
+                raise CorruptBlockError(
+                    "shuffle_fetch",
+                    detail=f"{self.nbytes} payload bytes",
+                    segment=self.name,
+                    expected=self.checksum,
+                    actual=actual,
+                )
+        return pickle.loads(data)
 
     def __len__(self) -> int:
         return self.count
@@ -112,6 +128,10 @@ class ShuffleManager:
         #: shuffle_id -> list of MapOutput slots (None = not yet / lost)
         self._outputs: dict[int, list[MapOutput | None]] = {}
         self._num_maps: dict[int, int] = {}
+        #: (shuffle_id, map_id) slots dropped after a fetch-side checksum
+        #: mismatch; the map recompute that refills such a slot is the
+        #: repair half of the detect -> repair contract.
+        self._corrupt_maps: set[tuple[int, int]] = set()
 
     # -- registration ------------------------------------------------------------
 
@@ -163,13 +183,30 @@ class ShuffleManager:
             buckets=self._maybe_stage_shm(buckets, sizes),
             sizes=sizes,
         )
+        repaired = False
         with self._lock:
             slots = self._outputs.get(dep.shuffle_id)
             if slots is not None:
                 slots[map_id] = output
+                if (dep.shuffle_id, map_id) in self._corrupt_maps:
+                    self._corrupt_maps.discard((dep.shuffle_id, map_id))
+                    repaired = True
             # else: the shuffle was unregistered while this map task ran;
             # drop the output — readers will see a missing map and the DAG
             # scheduler recomputes after re-registration.
+        if repaired:
+            # The recompute refilled a slot quarantined for a checksum
+            # mismatch: the map-recompute half of the detect -> repair
+            # contract (the lineage half lives in the CacheManager).
+            self._context.registry.inc("corruption_repaired_total", how="map_recompute")
+            self._context.metrics.record_recovery(
+                "corrupt_map_recomputed",
+                job_index=ctx.job_index,
+                stage_id=ctx.stage_id,
+                partition=ctx.partition_index,
+                executor_id=ctx.executor_id,
+                detail=f"shuffle={dep.shuffle_id} map={map_id}",
+            )
         _ = num_reduces  # documented invariant: bucket ids < num_reduces
 
     def _maybe_stage_shm(
@@ -227,6 +264,7 @@ class ShuffleManager:
             raise FetchFailedError(shuffle_id, 0)
         topology = self._context.topology
         chunks: list[list[Any]] = []
+        corrupt_checked = False
         for map_id, output in enumerate(slots):
             if output is None:
                 self._record_fetch_failure(shuffle_id, map_id, ctx, "map output lost")
@@ -247,11 +285,80 @@ class ShuffleManager:
                     ctx.shuffle_bytes_read_local += nbytes
             else:
                 ctx.shuffle_bytes_read_remote += nbytes
-            chunks.append(bucket.rows() if staged else bucket)
+            if staged:
+                if not corrupt_checked:
+                    # Chaos: damage the first staged bucket in place (the
+                    # injector only fires on the first fetch of a reduce,
+                    # so the retried fetch reads the recomputed output).
+                    corrupt_checked = True
+                    self._maybe_corrupt_bucket(bucket, shuffle_id, map_id, reduce_id, ctx)
+                try:
+                    chunks.append(bucket.rows())
+                except CorruptBlockError as exc:
+                    self._quarantine_map_output(shuffle_id, map_id, reduce_id, ctx, exc)
+                    raise FetchFailedError(shuffle_id, map_id) from exc
+            else:
+                chunks.append(bucket)
         self._context.registry.inc("shuffle_fetches_total")
         return itertools.chain.from_iterable(chunks)
 
     # -- failure handling ---------------------------------------------------------
+
+    def _maybe_corrupt_bucket(
+        self, bucket: ShmBucket, shuffle_id: int, map_id: int, reduce_id: int, ctx: TaskContext
+    ) -> None:
+        """Corruption chaos: damage a staged bucket's segment bytes in place."""
+        faults = self._context.faults
+        if faults.corrupt_fetch_prob <= 0:
+            return
+        mode = faults.on_fetch_corrupt(shuffle_id, reduce_id)
+        if mode is None:
+            return
+        from repro.integrity import corrupt_buffer
+
+        detail = corrupt_buffer(bucket._shm.buf, bucket.nbytes, mode, salt=reduce_id)
+        self._context.metrics.record_recovery(
+            "chaos_fetch_corruption",
+            job_index=ctx.job_index,
+            stage_id=ctx.stage_id,
+            partition=ctx.partition_index,
+            executor_id=ctx.executor_id,
+            detail=f"shuffle={shuffle_id} map={map_id} segment={bucket.name}: {detail}",
+        )
+
+    def _quarantine_map_output(
+        self,
+        shuffle_id: int,
+        map_id: int,
+        reduce_id: int,
+        ctx: TaskContext,
+        exc: CorruptBlockError,
+    ) -> None:
+        """Drop a map output whose staged bytes failed verification.
+
+        The slot is nulled in the *registered* output list (not the fetch's
+        local copy), so the DAG scheduler's retry sees a missing map and
+        recomputes it from lineage. Concurrent reduces hitting the same
+        damaged bucket detect it only once — the first caller records the
+        detection; later callers just re-raise the fetch failure — which
+        keeps ``corruption_detected_total == corruption_repaired_total``.
+        """
+        with self._lock:
+            fresh = (shuffle_id, map_id) not in self._corrupt_maps
+            self._corrupt_maps.add((shuffle_id, map_id))
+            slots = self._outputs.get(shuffle_id)
+            if slots is not None and 0 <= map_id < len(slots):
+                slots[map_id] = None
+        if fresh:
+            self._context.registry.inc("corruption_detected_total", where="shuffle_fetch")
+            self._context.metrics.record_recovery(
+                "corrupt_shuffle_payload",
+                job_index=ctx.job_index,
+                stage_id=ctx.stage_id,
+                partition=ctx.partition_index,
+                executor_id=ctx.executor_id,
+                detail=f"shuffle={shuffle_id} map={map_id} reduce={reduce_id}: {exc}",
+            )
 
     def _record_fetch_failure(
         self, shuffle_id: int, map_id: int, ctx: TaskContext, why: str
@@ -281,3 +388,4 @@ class ShuffleManager:
         with self._lock:
             self._outputs.pop(shuffle_id, None)
             self._num_maps.pop(shuffle_id, None)
+            self._corrupt_maps = {cm for cm in self._corrupt_maps if cm[0] != shuffle_id}

@@ -249,12 +249,18 @@ class IndexedDataFrame:
         application shed a cold index ahead of a known memory spike. Spilled
         batches fault back in transparently on the next lookup or scan.
         """
-        spill_dir = self.session.context.config.spill_dir
+        context = self.session.context
+        spill_dir = context.config.spill_dir
 
-        def spill(it, _ctx):
+        def spill(it, ctx):
             from repro.indexed.out_of_core import spill_partition
 
-            return spill_partition(next(iter(it)), spill_dir=spill_dir, keep_tail=keep_tail)
+            return spill_partition(
+                next(iter(it)),
+                spill_dir=spill_dir,
+                keep_tail=keep_tail,
+                corruption_hook=context.spill_corruption_hook(ctx.executor_id),
+            )
 
         return sum(self.session.context.run_job(self.rdd, spill))
 

@@ -86,6 +86,40 @@ def _worker_crash(engine: Any, ctx: Any, exc: WorkerCrashed) -> None:
     raise exc
 
 
+def _maybe_corrupt_dispatch(engine: Any, part: Any, handles: Any, ctx: Any) -> None:
+    """Corruption chaos: flip bytes in a dispatched segment before the worker
+    maps it.
+
+    Handles carry checksums anchored *before* the damage, so the worker's
+    attach-time verification is guaranteed to catch it — the proc_attach
+    trust boundary under test. Fires on first attempts only; the retry
+    (after quarantine + lineage rebuild) dispatches clean segments.
+    """
+    faults = engine.faults
+    if faults.corrupt_shm_prob <= 0:
+        return
+    mode = faults.on_shm_dispatch(ctx.stage_id, ctx.partition_index, ctx.attempt)
+    if mode is None:
+        return
+    target = next((h for h in handles if h.visible > 0 and h.checksum is not None), None)
+    if target is None:
+        return
+    batch = next((b for b in part.batches if getattr(b, "name", None) == target.name), None)
+    if batch is None:
+        return
+    from repro.integrity import corrupt_buffer
+
+    detail = corrupt_buffer(batch.buf, target.visible, mode, salt=ctx.partition_index)
+    engine.metrics.record_recovery(
+        "chaos_shm_corruption",
+        job_index=ctx.job_index,
+        stage_id=ctx.stage_id,
+        partition=ctx.partition_index,
+        executor_id=ctx.executor_id,
+        detail=f"segment={target.name}: {detail}",
+    )
+
+
 def _offload_scan(part: Any, ctx: Any) -> "list | None":
     """Run ``part.scan_rows()`` on the kernel pool, or None to run inline."""
     engine, pool = _kernel_pool(ctx)
@@ -100,6 +134,7 @@ def _offload_scan(part: Any, ctx: Any) -> "list | None":
     chaos_kill = engine.faults.on_proc_dispatch(
         ctx.stage_id, ctx.partition_index, ctx.attempt
     )
+    _maybe_corrupt_dispatch(engine, part, handles, ctx)
     try:
         rows, info = pool.scan(
             part.schema, part.codec.max_row_size, handles, chaos_kill=chaos_kill
@@ -144,6 +179,7 @@ def _offload_lookup_many(part: Any, keys: Any, ctx: Any) -> "dict | None":
     chaos_kill = engine.faults.on_proc_dispatch(
         ctx.stage_id, ctx.partition_index, ctx.attempt
     )
+    _maybe_corrupt_dispatch(engine, part, handles, ctx)
     try:
         chains, info = pool.chains(
             part.schema, part.codec.max_row_size, handles, pointers, chaos_kill=chaos_kill

@@ -32,8 +32,10 @@ import tempfile
 import threading
 import time
 import weakref
+import zlib
 from typing import Any, Callable
 
+from repro.integrity import ChecksumMixin, CorruptBlockError, integrity_enabled
 from repro.indexed.partition import IndexedPartition
 from repro.indexed.row_batch import RowBatch
 
@@ -45,7 +47,7 @@ def _unlink_quiet(path: str) -> None:
         pass
 
 
-class SpillableRowBatch:
+class SpillableRowBatch(ChecksumMixin):
     """A row batch whose bytes may live on disk.
 
     Same interface as :class:`RowBatch` (``reserve``/``write``/``append``/
@@ -66,10 +68,20 @@ class SpillableRowBatch:
         self._spill_dir = spill_dir or tempfile.gettempdir()
         self._path: "str | None" = None
         self._finalizer: "weakref.finalize | None" = None
+        self._crc_marks: dict[int, int] = {}
+        #: CRC32 + length of the bytes written to the spill file, recorded
+        #: at spill time and re-checked on every fault-in (the disk trust
+        #: boundary). None while no valid file exists.
+        self._spill_crc: "int | None" = None
+        self._spill_len = 0
         #: Number of faults (loads from disk) — the out-of-core read cost.
         self.faults = 0
         #: Optional ``(nbytes, seconds)`` callback fired after a fault-in.
         self.on_fault: "Callable[[int, float], None] | None" = None
+        #: Chaos hook: called after each spill-file write; a returned
+        #: corruption mode damages the file (``None`` = no chaos). Wired by
+        #: :func:`spill_partition` from the memory manager's injector.
+        self.chaos_corruption: "Callable[[str], str | None] | None" = None
 
     # -- RowBatch interface ---------------------------------------------------
 
@@ -103,6 +115,8 @@ class SpillableRowBatch:
         if self._path is not None:
             with self._lock:
                 self._invalidate_file_locked()
+        if self._crc_marks:
+            self.drop_marks_beyond(offset)
         self._buf[offset : offset + len(data)] = data
 
     def append(self, data: bytes) -> "int | None":
@@ -140,8 +154,20 @@ class SpillableRowBatch:
                 # dropped partitions (evictions, executor kills, test
                 # teardown) cannot leak temp files.
                 self._finalizer = weakref.finalize(self, _unlink_quiet, self._path)
+                data = bytes(self._buf[: self._used])
                 with os.fdopen(fd, "wb") as f:
-                    f.write(bytes(self._buf[: self._used]))
+                    f.write(data)
+                if integrity_enabled():
+                    # Record the CRC of what *should* be on disk before any
+                    # chaos touches the file, so injected damage is caught.
+                    self._spill_crc = zlib.crc32(data)
+                    self._spill_len = len(data)
+                hook = self.chaos_corruption
+                mode = hook(self._path) if hook is not None else None
+                if mode:
+                    from repro.integrity import corrupt_file
+
+                    corrupt_file(self._path, len(data), mode)
             freed = self.capacity
             self._buf = None
             return freed
@@ -156,6 +182,18 @@ class SpillableRowBatch:
             buf = bytearray(self.capacity)
             with open(self._path, "rb") as f:
                 data = f.read()
+            if self._spill_crc is not None:
+                actual = zlib.crc32(data)
+                if len(data) != self._spill_len or actual != self._spill_crc:
+                    # Leave the batch spilled: the quarantine drops every
+                    # block referencing it and lineage rebuilds fresh bytes.
+                    raise CorruptBlockError(
+                        "spill_fault_in",
+                        detail=f"{self._path}: {len(data)}/{self._spill_len} bytes",
+                        batch=self,
+                        expected=self._spill_crc,
+                        actual=actual,
+                    )
             buf[: len(data)] = data
             self._buf = buf
             self.faults += 1
@@ -172,6 +210,8 @@ class SpillableRowBatch:
                 self._finalizer = None
             _unlink_quiet(self._path)
             self._path = None
+            self._spill_crc = None
+            self._spill_len = 0
 
     def discard_file(self) -> None:
         """Remove the backing file (after faulting in, or on drop)."""
@@ -185,6 +225,8 @@ class SpillableRowBatch:
         used = batch.used
         out._buf[:used] = batch.buf[:used]  # type: ignore[index]
         out._used = used
+        # The bytes are identical, so existing prefix anchors stay valid.
+        out._crc_marks = dict(getattr(batch, "_crc_marks", {}))
         return out
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -197,6 +239,7 @@ def spill_partition(
     spill_dir: "str | None" = None,
     keep_tail: bool = True,
     on_fault: "Callable[[int, float], None] | None" = None,
+    corruption_hook: "Callable[[str], str | None] | None" = None,
 ) -> int:
     """Convert the partition's sealed batches to spilled form.
 
@@ -204,6 +247,8 @@ def spill_partition(
     ``keep_tail``; everything else moves to disk. Returns bytes freed.
     Chain walks keep working — cold batches fault back in on first read
     (firing ``on_fault`` when given, so callers can meter the traffic).
+    ``corruption_hook`` threads the chaos injector through to each spill
+    write (see :attr:`SpillableRowBatch.chaos_corruption`).
     """
     freed = 0
     batches = getattr(partition, "batches", None)
@@ -218,6 +263,8 @@ def spill_partition(
             batches[i] = batch
         if on_fault is not None:
             batch.on_fault = on_fault
+        if corruption_hook is not None:
+            batch.chaos_corruption = corruption_hook
         freed += batch.spill()
     return freed
 

@@ -129,6 +129,15 @@ class IndexedPartition:
             raise ValueError(
                 f"encoded row ({len(data)} B) larger than batch size ({self.batch_size} B)"
             )
+        if self.batches:
+            # Opening a fresh tail seals the previous one for this version:
+            # anchor its content CRC at our watermark (integrity boundary
+            # verification and the serve scrubber check against this mark).
+            sealed = self.batches[-1]
+            checkpoint = getattr(sealed, "checkpoint", None)
+            idx = len(self.batches) - 1
+            if checkpoint is not None and idx < len(self._watermarks) and self._watermarks[idx]:
+                checkpoint(self._watermarks[idx])
         self.batches.append(batch)
         self._note_write(len(self.batches) - 1, offset, len(data))
         return len(self.batches) - 1, offset

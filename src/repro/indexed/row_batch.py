@@ -8,17 +8,24 @@ the same tail batch because (a) space is *reserved atomically*, so writers
 never overlap, and (b) visibility is governed solely by each version's own
 cTrie and backward pointers, so foreign rows in a shared batch are simply
 unreachable (Section III-E).
+
+Integrity: every batch carries CRC32 *prefix marks*
+(:class:`~repro.integrity.ChecksumMixin`) anchored when a batch
+seals (the partition opens a fresh tail) and verified whenever the bytes
+re-cross a storage or transport boundary.
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro.integrity import ChecksumMixin
 
-class RowBatch:
+
+class RowBatch(ChecksumMixin):
     """One append-only buffer of encoded rows."""
 
-    __slots__ = ("buf", "capacity", "_lock", "_used")
+    __slots__ = ("buf", "capacity", "_crc_marks", "_lock", "_used")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -26,6 +33,7 @@ class RowBatch:
         self.capacity = capacity
         self.buf = bytearray(capacity)
         self._used = 0
+        self._crc_marks: dict[int, int] = {}
         self._lock = threading.Lock()
 
     @property
@@ -42,6 +50,8 @@ class RowBatch:
             return offset
 
     def write(self, offset: int, data: bytes) -> None:
+        if self._crc_marks:
+            self.drop_marks_beyond(offset)
         self.buf[offset : offset + len(data)] = data
 
     def append(self, data: bytes) -> int | None:

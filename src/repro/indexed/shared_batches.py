@@ -42,6 +42,8 @@ from collections import OrderedDict
 from multiprocessing import resource_tracker, shared_memory
 from typing import NamedTuple
 
+from repro.integrity import ChecksumMixin
+
 #: Prefix of every segment this process creates; the atexit sweep and the
 #: leak-regression tests key on it.
 SEGMENT_PREFIX = "repro-batch-"
@@ -127,9 +129,14 @@ class BatchHandle(NamedTuple):
     #: diverged MVCC siblings are invisible by construction.
     visible: int
     capacity: int
+    #: CRC32 of the visible prefix, anchored when the handle was built; the
+    #: receiving worker re-computes it over the mapped segment before
+    #: decoding (the proc-attach trust boundary). None when integrity
+    #: checking is disabled.
+    checksum: "int | None" = None
 
 
-class SharedRowBatch:
+class SharedRowBatch(ChecksumMixin):
     """A row batch whose buffer is a named shared-memory segment.
 
     Same interface and locking discipline as
@@ -139,7 +146,16 @@ class SharedRowBatch:
     processes read through :class:`SegmentCache`.
     """
 
-    __slots__ = ("capacity", "name", "_shm", "_used", "_lock", "_finalizer", "__weakref__")
+    __slots__ = (
+        "capacity",
+        "name",
+        "_crc_marks",
+        "_shm",
+        "_used",
+        "_lock",
+        "_finalizer",
+        "__weakref__",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -150,6 +166,7 @@ class SharedRowBatch:
         self.name = shm.name
         self._shm = shm
         self._used = 0
+        self._crc_marks: dict[int, int] = {}
         self._lock = threading.Lock()
         with _OWNED_LOCK:
             _OWNED[self.name] = shm
@@ -182,6 +199,8 @@ class SharedRowBatch:
             return offset
 
     def write(self, offset: int, data: bytes) -> None:
+        if self._crc_marks:
+            self.drop_marks_beyond(offset)
         self._shm.buf[offset : offset + len(data)] = data
 
     def append(self, data: bytes) -> "int | None":
@@ -203,8 +222,13 @@ class SharedRowBatch:
     # -- dispatch ----------------------------------------------------------------
 
     def handle(self, visible: "int | None" = None) -> BatchHandle:
-        """Handle exposing ``visible`` bytes (defaults to all used bytes)."""
-        return BatchHandle(self.name, self._used if visible is None else visible, self.capacity)
+        """Handle exposing ``visible`` bytes (defaults to all used bytes).
+
+        Anchors (or reuses) the prefix CRC of the visible bytes so the
+        receiving worker can verify its mapping before decoding.
+        """
+        visible = self._used if visible is None else visible
+        return BatchHandle(self.name, visible, self.capacity, self.checkpoint(visible))
 
     def release(self) -> None:
         """Explicitly close + unlink now (tests; normally the finalizer's job)."""

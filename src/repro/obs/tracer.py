@@ -45,9 +45,10 @@ from typing import Any
 #: exactly one stage span" means mechanically.
 SPAN_NESTING: dict[str, tuple[str | None, ...]] = {
     "serve": (None, "serve"),
+    "scrub": (None, "serve", "scrub"),
     "query": (None, "phase", "query", "serve"),
     "phase": (None, "query", "phase", "serve"),
-    "job": (None, "query", "phase", "serve"),
+    "job": (None, "query", "phase", "serve", "scrub"),
     "stage": ("job",),
     "task": ("stage",),
     "operator": ("task", "operator"),

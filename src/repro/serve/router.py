@@ -767,6 +767,69 @@ class ShardRouter:
             failovers=failovers,
         )
 
+    # -- integrity: replica quarantine ---------------------------------------------------
+
+    def quarantine_replica(self, view: str, split: int, exc: Exception) -> str:
+        """Repair one split whose pinned copy failed a checksum audit.
+
+        Every replica holding a copy that fails verification is dropped
+        (from the shard *and* the routing table). When a surviving replica
+        still verifies, its partition is the repair source
+        (``"replica_copy"``); when none does, the damaged cached blocks are
+        quarantined and the split is re-pinned from lineage
+        (``"lineage_repin"`` — the rebuild cost lands on the cache
+        manager's ``lineage_rebuild`` attribution, not double-counted
+        here). Either way the replication factor is restored before
+        returning, so the zero-wrong-answers contract holds with no
+        degraded window beyond this call.
+        """
+        from repro.integrity import CorruptBlockError, audit_partition
+
+        state = self._views[view]
+        table = state.table
+        with self._admin_lock:
+            source = None
+            for owner in list(table.replicas(split)):
+                if not self._usable(owner):
+                    continue
+                try:
+                    part = self.shards[owner].snapshot(view).parts.get(split)
+                except PartitionNotOwned:
+                    part = None
+                if part is None:
+                    continue
+                try:
+                    audit_partition(part, where="scrub")
+                except CorruptBlockError:
+                    self.shards[owner].drop_partition(view, split)
+                    table.remove_replica(split, owner)
+                    continue
+                if source is None:
+                    source = part
+            if source is not None:
+                how = "replica_copy"
+            else:
+                how = "lineage_repin"
+                matched = self.context.quarantine_corrupt(exc)
+                pin = PinnedSnapshot.pin(state.idf)
+                source = pin.partitions[split]
+                if matched == 0:
+                    # Nothing was cached: the re-pin itself is the repair
+                    # (otherwise the cache manager's rebuild attributes it).
+                    self.registry.inc("corruption_repaired_total", how="repin")
+            # Restore the replication factor with the verified source.
+            installs: dict[int, Any] = {}
+            for target in range(len(self.shards)):
+                if len(table.replicas(split)) >= table.replication_factor:
+                    break
+                if not self._usable(target) or target in table.replicas(split):
+                    continue
+                table.add_replica(split, target)
+                installs[target] = source
+            for target in installs:
+                self.shards[target].install_partitions(view, {split: source})
+        return how
+
     # -- internals: promotion & sourcing ------------------------------------------------
 
     def _maybe_promote(self, view: str, state: _ViewState, split: int) -> None:

@@ -166,6 +166,25 @@ class ShardServer:
             "serve_shard_partitions", float(len(merged)), shard=self.shard_id, view=view
         )
 
+    def drop_partition(self, view: str, split: int) -> Any:
+        """Quarantine: drop one pinned partition (it failed a checksum
+        audit); subsequent reads of the split raise
+        :class:`PartitionNotOwned` until a verified copy is re-installed.
+        Returns the dropped partition (None when not held)."""
+        with self._lock:
+            snap = self._snapshots.get(view)
+            if snap is None or split not in snap.parts:
+                return None
+            remaining = dict(snap.parts)
+            dropped = remaining.pop(split)
+            self._snapshots[view] = ShardSnapshot(
+                view, snap.version, snap.partitioner, remaining
+            )
+        self.registry.set_gauge(
+            "serve_shard_partitions", float(len(remaining)), shard=self.shard_id, view=view
+        )
+        return dropped
+
     def snapshot(self, view: str) -> ShardSnapshot:
         with self._lock:
             snap = self._snapshots.get(view)
@@ -401,6 +420,16 @@ class RoutingTable:
             if shard_id in owners:
                 return False
             self._owners[split] = owners + [shard_id]
+            return True
+
+    def remove_replica(self, split: int, shard_id: int) -> bool:
+        """Forget that ``shard_id`` holds ``split`` (its copy was dropped —
+        corruption quarantine); returns False when it never did."""
+        with self._lock:
+            owners = self._owners[split]
+            if shard_id not in owners:
+                return False
+            self._owners[split] = [s for s in owners if s != shard_id]
             return True
 
     def scan_assignment(

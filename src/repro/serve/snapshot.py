@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.integrity import CorruptBlockError, audit_partition
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.indexed.indexed_dataframe import IndexedDataFrame
 
@@ -47,8 +49,20 @@ class PinnedSnapshot:
         Runs one job (serialized by the context's ``job_lock``); afterwards
         every lookup on this snapshot is an in-process cTrie search with no
         scheduler involvement at all.
+
+        Pinning is a trust boundary (DESIGN.md §16): every partition's
+        checksums are verified (or anchored, on first pin) before the
+        snapshot is served. A mismatch quarantines the damaged blocks and
+        re-materializes once from lineage — the repair itself is attributed
+        by the cache manager's rebuild path, not double-counted here.
         """
-        return cls(idf, idf.materialize_partitions())
+        try:
+            return cls(idf, idf.materialize_partitions())
+        except CorruptBlockError as exc:
+            context = idf.session.context
+            context.registry.inc("corruption_detected_total", where="pin")
+            context.quarantine_corrupt(exc)
+            return cls(idf, idf.materialize_partitions())
 
     def _validate(self) -> None:
         if len(self.partitions) != self.idf.num_partitions:
@@ -62,6 +76,7 @@ class PinnedSnapshot:
                     f"partition {split} is at version {part.version}, "
                     f"pin wants {self.version}"
                 )
+            audit_partition(part, where="pin")
 
     def lookup(self, key: Any) -> list[tuple]:
         """All rows with ``key`` at this version (the paper's ``getRows``,

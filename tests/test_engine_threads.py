@@ -78,9 +78,10 @@ class TestModeEquivalence:
         assert dict(rdd.collect()) == {100: sum(range(7))}
 
     def test_unknown_mode_rejected(self):
-        ctx = make_context("fibers")
+        # Config.validate() rejects the mode at construction, before any
+        # job could run against a half-built context.
         with pytest.raises(ValueError, match="scheduler_mode"):
-            ctx.parallelize(range(4), 2).collect()
+            make_context("fibers")
 
 
 class TestConcurrencyStress:
