@@ -1,0 +1,212 @@
+"""Cache-advisor smoke: adaptive caching must beat both fixed policies.
+
+Two scenarios, both differential (every configuration must produce
+identical rows), gating the PR's headline claims (DESIGN.md §17):
+
+* **adaptive_mix** — a repeated-query mix (two hot aggregates recurring
+  among a stream of large one-off scans) under one fixed per-executor
+  budget, run three ways:
+
+  - ``never``  — ``auto_cache=False`` (the seed behaviour),
+  - ``always`` — ``auto_cache=True, advisor_score_threshold=0.0``
+    (every fingerprint materialized on sight),
+  - ``advisor`` — ``auto_cache=True`` with the default threshold.
+
+  Gates: advisor >= 1.3x faster than never-cache (hot queries stop being
+  recomputed) and >= 1.1x faster than always-cache (one-off results are
+  never materialized, so their admission metering and shed churn never
+  happens).
+
+* **churn** — the BENCH_PR4 fig06-shaped loop (cached index + repeated
+  probes, 120 KB budget) with the ghost list on vs off
+  (``advisor_ghost_size=0``). Gates: the ghost run spills no more than
+  the ghost-less run and stays below the 24-spill storm BENCH_PR4
+  recorded for this shape.
+
+Writes the gate report to ``BENCH_PR10.json`` at the repository root (or
+argv[1]) and exits non-zero on any gate failure.
+
+Usage::
+
+    python benchmarks/advisor_smoke.py [BENCH_PR10.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.topology import private_cluster  # noqa: E402
+from repro.config import Config  # noqa: E402
+from repro.engine.context import EngineContext  # noqa: E402
+from repro.sql.session import Session  # noqa: E402
+from repro.sql.types import DOUBLE, LONG, STRING, Schema  # noqa: E402
+
+SCHEMA = Schema.of(("k", LONG), ("v", DOUBLE), ("payload", STRING))
+SPILL_DIR = os.path.join(tempfile.gettempdir(), "repro-advisor-smoke-spill")
+
+#: adaptive_mix: enough to hold the hot results, far too small for every
+#: one-off result the always-cache policy tries to keep.
+MIX_BUDGET = 400_000
+MIX_ROWS = 12_000
+MIX_ROUNDS = 15
+
+#: churn: BENCH_PR4's budget and shape.
+CHURN_BUDGET = 120_000
+CHURN_SPILL_STORM = 24  # spills BENCH_PR4 measured for this working set
+
+
+def make_rows(n: int, keys: int = 50, seed: int = 0, width: int = 80) -> list[tuple]:
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(keys), round(rng.random(), 6), "x" * rng.randrange(width // 2, width))
+        for _ in range(n)
+    ]
+
+
+def make_session(budget: int, **overrides) -> Session:
+    cfg = dict(
+        default_parallelism=4,
+        shuffle_partitions=4,
+        scheduler_mode="threads",
+        row_batch_size=8192,
+        executor_memory_bytes=budget,
+        spill_dir=SPILL_DIR,
+        task_retry_backoff=0.001,
+        task_retry_backoff_max=0.01,
+    )
+    cfg.update(overrides)
+    config = Config(**cfg)
+    config.validate()
+    ctx = EngineContext(
+        config=config,
+        topology=private_cluster(num_machines=1, executors_per_machine=2),
+    )
+    session = Session(context=ctx)
+    session.create_dataframe(
+        make_rows(MIX_ROWS), SCHEMA, name="t"
+    ).create_or_replace_temp_view("t")
+    return session
+
+
+HOT_QUERIES = (
+    "SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k",
+    "SELECT k, MAX(v) AS mx FROM t WHERE k < 40 GROUP BY k",
+)
+
+
+def run_mix(session: Session) -> tuple[list, float]:
+    """MIX_ROUNDS rounds of hot aggregates + a large one-off scan each."""
+    out = []
+    t0 = time.perf_counter()
+    for i in range(MIX_ROUNDS):
+        for text in HOT_QUERIES:
+            out.append(sorted(session.sql(text).collect_tuples()))
+        # One-off: unique text each round, large result -> expensive to admit.
+        one_off = f"SELECT * FROM t WHERE v > 0.{i:02d}1"
+        out.append(sorted(session.sql(one_off).collect_tuples()))
+    return out, time.perf_counter() - t0
+
+
+def activity(session: Session) -> dict[str, float]:
+    reg = session.context.registry
+    return {
+        "spills": reg.counter_total("memory_spills_total"),
+        "evictions": reg.counter_total("memory_evictions_total"),
+        "faulted_back_bytes": reg.counter_total("memory_faulted_back_bytes_total"),
+        "put_bytes": reg.counter_total("memory_put_bytes_total"),
+        "advisor_hits": reg.counter_total("cache_advisor_hits_total"),
+        "advisor_decisions": reg.counter_by_label(
+            "cache_advisor_decisions_total", "action"
+        ),
+    }
+
+
+def run_churn(ghost_size: int) -> tuple[list, dict[str, float]]:
+    """The PR4 loop: cached index over-budget, repeated point probes."""
+    session = make_session(
+        budget=CHURN_BUDGET,
+        advisor_ghost_size=ghost_size,
+        advisor_ghost_cooldown=16,
+    )
+    df = session.create_dataframe(make_rows(4000, seed=3), SCHEMA, "big")
+    idf = df.create_index("k", num_partitions=8).cache_index()
+    rows = []
+    for k in (1, 5, 9, 13, 1, 5, 9, 13, 1, 5, 9, 13, 2, 1, 5, 9):
+        rows.append(sorted(idf.lookup_tuples(k)))
+    rows.append(sorted(tuple(r) for r in idf.collect()))
+    return rows, activity(session)
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_PR10.json")
+    failures: list[str] = []
+    report: dict = {"mix_budget_bytes": MIX_BUDGET, "churn_budget_bytes": CHURN_BUDGET}
+
+    # -- scenario 1: adaptive mix ------------------------------------------------
+    configs = {
+        "never": dict(),
+        "always": dict(auto_cache=True, advisor_score_threshold=0.0),
+        "advisor": dict(auto_cache=True),  # default threshold
+    }
+    mix: dict[str, dict] = {}
+    rows_by_config: dict[str, list] = {}
+    for name, overrides in configs.items():
+        session = make_session(budget=MIX_BUDGET, **overrides)
+        rows, wall = run_mix(session)
+        rows_by_config[name] = rows
+        mix[name] = {"wall_seconds": round(wall, 4), **activity(session)}
+        print(f"mix/{name}: {wall:.3f}s, activity={mix[name]}")
+    if not (rows_by_config["never"] == rows_by_config["always"] == rows_by_config["advisor"]):
+        failures.append("mix: configurations disagree on rows")
+    speedup_never = mix["never"]["wall_seconds"] / mix["advisor"]["wall_seconds"]
+    speedup_always = mix["always"]["wall_seconds"] / mix["advisor"]["wall_seconds"]
+    report["mix"] = {
+        **mix,
+        "advisor_speedup_vs_never": round(speedup_never, 3),
+        "advisor_speedup_vs_always": round(speedup_always, 3),
+    }
+    if speedup_never < 1.3:
+        failures.append(f"mix: advisor only {speedup_never:.2f}x vs never-cache (need 1.3x)")
+    if speedup_always < 1.1:
+        failures.append(f"mix: advisor only {speedup_always:.2f}x vs always-cache (need 1.1x)")
+    if mix["advisor"]["advisor_hits"] < 2 * (MIX_ROUNDS - 2):
+        failures.append("mix: advisor served too few cached results")
+
+    # -- scenario 2: churn -------------------------------------------------------
+    rows_ghost, with_ghost = run_churn(ghost_size=64)
+    rows_plain, without_ghost = run_churn(ghost_size=0)
+    report["churn"] = {"ghost_on": with_ghost, "ghost_off": without_ghost}
+    if rows_ghost != rows_plain:
+        failures.append("churn: ghost list changed answers")
+    if with_ghost["spills"] > without_ghost["spills"]:
+        failures.append(
+            f"churn: ghost increased spills ({with_ghost['spills']} > {without_ghost['spills']})"
+        )
+    if with_ghost["spills"] >= CHURN_SPILL_STORM:
+        failures.append(
+            f"churn: {with_ghost['spills']} spills >= PR4's {CHURN_SPILL_STORM}-spill storm"
+        )
+    print(f"churn: ghost_on={with_ghost['spills']} spills, ghost_off={without_ghost['spills']}")
+
+    report["failures"] = failures
+    report["ok"] = not failures
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("all advisor gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -228,8 +228,36 @@ class Config:
     executor_memory_bytes: int = 0
     #: Where spilled row batches live (None: the system temp directory).
     spill_dir: "str | None" = None
-    #: Block eviction order under memory pressure: "lru" | "reference_distance".
+    #: Block eviction order under memory pressure: "lru" |
+    #: "reference_distance" | "cost" (DESIGN.md §17: the advisor ranks
+    #: blocks by recompute-cost x expected-reuse per byte and sheds the
+    #: lowest value density first).
     eviction_policy: str = "lru"
+    #: Cost-based cache advisor (DESIGN.md §17). ``auto_cache`` turns on the
+    #: *active* half: recurring ``session.sql`` results whose value density
+    #: clears ``advisor_score_threshold`` are transparently persisted, and
+    #: auto-cached results / cold user pins are auto-evicted when the
+    #: worst executor's fullness exceeds ``advisor_shed_pressure``.
+    #: Passive signal collection (recurrence, measured compute cost) is
+    #: always on and feeds ``eviction_policy="cost"`` and the serve tier.
+    auto_cache: bool = False
+    #: Value-density admission bar, in (seconds x expected reuses) per MB
+    #: held. 0.0 is "always-cache" mode (every recurring fingerprint is
+    #: materialized on sight) — the baseline the advisor is benchmarked
+    #: against.
+    advisor_score_threshold: float = 0.05
+    #: Recently-shed fingerprints/blocks remembered for anti-thrash
+    #: (0 disables the ghost list and its re-admission cooldown).
+    advisor_ghost_size: int = 64
+    #: Ticks (queries for the advisor, block admissions for the memory
+    #: manager) a just-shed entry stays blocked from re-admission and a
+    #: just-re-admitted block stays deferred from re-shedding.
+    advisor_ghost_cooldown: int = 16
+    #: Per-tick multiplicative decay of recurrence counters, in (0, 1];
+    #: 1.0 never forgets.
+    advisor_recurrence_decay: float = 0.95
+    #: Memory fullness fraction above which the advisor auto-evicts.
+    advisor_shed_pressure: float = 0.9
     #: Enable the span tracer (query/stage/task/operator spans + Chrome
     #: trace export). Off by default: the disabled fast path is a single
     #: attribute check per instrumented site (no allocation, no clock read).
@@ -272,13 +300,42 @@ class Config:
         enums = (
             ("scheduler_mode", ("sequential", "threads", "processes")),
             ("shared_batches", ("auto", "on", "off")),
-            ("eviction_policy", ("lru", "reference_distance")),
+            ("eviction_policy", ("lru", "reference_distance", "cost")),
             ("index_storage_format", ("row", "columnar")),
         )
         for name, allowed in enums:
             value = getattr(self, name)
             if value not in allowed:
                 problems.append(f"{name} must be one of {allowed}, got {value!r}")
+        # Advisor knobs (DESIGN.md §17), all reported together like the rest.
+        if (
+            not isinstance(self.advisor_score_threshold, (int, float))
+            or self.advisor_score_threshold < 0
+        ):
+            problems.append(
+                "advisor_score_threshold must be >= 0, "
+                f"got {self.advisor_score_threshold!r}"
+            )
+        for name in ("advisor_ghost_size", "advisor_ghost_cooldown"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"{name} must be a non-negative int, got {value!r}")
+        if (
+            not isinstance(self.advisor_recurrence_decay, (int, float))
+            or not 0.0 < self.advisor_recurrence_decay <= 1.0
+        ):
+            problems.append(
+                "advisor_recurrence_decay must be in (0.0, 1.0], "
+                f"got {self.advisor_recurrence_decay!r}"
+            )
+        if (
+            not isinstance(self.advisor_shed_pressure, (int, float))
+            or not 0.0 <= self.advisor_shed_pressure <= 1.0
+        ):
+            problems.append(
+                "advisor_shed_pressure must be in [0.0, 1.0], "
+                f"got {self.advisor_shed_pressure!r}"
+            )
         positive = (
             "default_parallelism",
             "row_batch_size",

@@ -237,6 +237,7 @@ class CacheManager:
             value = local.get(block_id)
             if value is not None:
                 ctxm.registry.inc("cache_hits_total", level="local")
+                ctxm.advisor.note_block_access(block_id)
                 return iter(value)
             # 2. Remote hit: fetch from another live executor (accounted).
             for executor_id in ctxm.block_manager_master.locations(block_id):
@@ -264,6 +265,7 @@ class CacheManager:
                     else:
                         ctx.shuffle_bytes_read_remote += nbytes
                     ctxm.registry.inc("cache_hits_total", level="remote")
+                    ctxm.advisor.note_block_access(block_id)
                     return iter(value)
             ctxm.registry.inc("cache_misses_total")
             # 3. Miss: compute from lineage, store locally, register. A miss
@@ -276,9 +278,19 @@ class CacheManager:
             materialized = list(rdd.compute(split, ctx))
             elapsed = time.perf_counter() - t0
             ctxm.registry.observe("block_compute_seconds", elapsed)
+            # Feed the advisor's cost model: measured per-block rebuild cost
+            # plus the block's lineage depth (DESIGN.md §17).
+            ctxm.advisor.note_block_compute(block_id, rdd, elapsed)
             try:
                 local.put(block_id, materialized)
             except MemoryPressureError:
+                if getattr(rdd, "advisor_cached", False):
+                    # Advisor-initiated caching is best-effort: the block
+                    # does not fit, so serve the rows uncached — the query
+                    # must not fail because of a cache the user never
+                    # asked for (DESIGN.md §17).
+                    ctxm.registry.inc("cache_advisor_put_skipped_total")
+                    return iter(materialized)
                 # Backpressure: the budget is exhausted and shedding could
                 # not make room. Propagate retryably — the task scheduler
                 # backs off, draws on the stage attempt budget, and

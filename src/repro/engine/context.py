@@ -10,6 +10,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Iterator
 
+from repro.advisor.advisor import CacheAdvisor
 from repro.cluster.faults import FaultInjector
 from repro.cluster.metrics import MetricsCollector
 from repro.cluster.network import NetworkModel
@@ -82,6 +83,11 @@ class EngineContext:
             corrupt_spill_prob=self.config.chaos_corrupt_spill_prob,
             corrupt_fetch_prob=self.config.chaos_corrupt_fetch_prob,
         )
+        #: Cost-based cache advisor (DESIGN.md §17): passively accumulates
+        #: recurrence + measured compute cost from every layer; actively
+        #: auto-caches/auto-evicts only when ``Config.auto_cache`` is set.
+        #: Created before the executors so memory managers can consult it.
+        self.advisor = CacheAdvisor(self)
         self.executors: dict[str, ExecutorRuntime] = {
             spec.executor_id: ExecutorRuntime(self, spec) for spec in self.topology.executors
         }

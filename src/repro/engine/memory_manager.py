@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any
 
+from repro.advisor.ghost import GhostList
 from repro.utils.memory import deep_sizeof, reachable_ids
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 BlockId = tuple[int, int]  # (rdd_id, partition_index)
 
-EVICTION_POLICIES = ("lru", "reference_distance")
+EVICTION_POLICIES = ("lru", "reference_distance", "cost")
 
 
 class MemoryPressureError(RuntimeError):
@@ -93,6 +94,16 @@ class MemoryManager:
         #: block id -> bytes faulted back from disk last time we looked.
         self._fault_bytes: "dict[BlockId, int]" = {}
         self._spilled: set[BlockId] = set()
+        #: Anti-thrash (DESIGN.md §17): recently shed blocks, keyed by the
+        #: admission tick they were shed at. A ghost-listed block that
+        #: comes back within the cooldown is *protected*: the victim order
+        #: defers re-shedding it (never excludes it — shedding must still
+        #: be able to complete), breaking the evict -> rebuild -> re-evict
+        #: loop BENCH_PR4 measured.
+        self.ghost = GhostList(cfg.advisor_ghost_size, cfg.advisor_ghost_cooldown)
+        self._tick = 0
+        #: block id -> tick until which re-shedding it is deferred.
+        self._protected_until: "dict[BlockId, int]" = {}
         #: Serializes pressure storms against concurrent admits.
         self._storm_lock = threading.Lock()
 
@@ -139,6 +150,15 @@ class MemoryManager:
         if not self.enabled:
             blocks[block_id] = value
             return
+        self._tick += 1
+        if self.ghost.recently_shed(block_id, self._tick):
+            # Thrash signature: this very block was shed moments ago and is
+            # already back. Protect it from the next sheds so it is not
+            # immediately re-evicted (the PR4 churn loop).
+            self._protected_until[block_id] = self._tick + self.ghost.cooldown
+            self.context.registry.inc(
+                "memory_ghost_readmissions_total", executor=self.executor_id
+            )
         if block_id in self._sizes:
             # Overwrite (idempotent recompute/speculation): drop the old
             # charge first so the new bytes are metered from scratch.
@@ -177,6 +197,8 @@ class MemoryManager:
         self._sizes.pop(block_id, None)
         self._fault_bytes.pop(block_id, None)
         self._spilled.discard(block_id)
+        self._protected_until.pop(block_id, None)
+        self.ghost.forget(block_id)
         self._recompute(blocks)
 
     def on_clear(self) -> None:
@@ -186,6 +208,8 @@ class MemoryManager:
         self._seen_ids.clear()
         self._fault_bytes.clear()
         self._spilled.clear()
+        self._protected_until.clear()
+        self.ghost.clear()
         self._used = 0
         self._publish_gauge()
 
@@ -204,6 +228,14 @@ class MemoryManager:
                 float(total - prev),
                 executor=self.executor_id,
             )
+            if block_id in self._spilled:
+                # Its batches are (partly) resident again: make the block
+                # tier-1 spillable once more — re-spilling beats evicting
+                # and recomputing from lineage — but protect it for the
+                # ghost cooldown so a hot block is not spilled straight
+                # back out (the spill -> fault-back churn of BENCH_PR4).
+                self._spilled.discard(block_id)
+                self._protected_until[block_id] = self._tick + self.ghost.cooldown
 
     # -- pressure tiers ----------------------------------------------------------
 
@@ -216,14 +248,37 @@ class MemoryManager:
         registry.observe("memory_fault_in_seconds", seconds)
 
     def _victim_order(self, protect: "BlockId | None") -> "list[BlockId]":
-        """Candidate blocks, best victim first, per the configured policy."""
+        """Candidate blocks, best victim first, per the configured policy.
+
+        Ghost-protected blocks (just shed, just re-admitted) are moved to
+        the very end regardless of policy: still sheddable as a last
+        resort, but every other candidate goes first (anti-thrash).
+        """
         candidates = [b for b in self._sizes if b != protect]
+        lru_rank = {b: i for i, b in enumerate(self._sizes)}
         if self.policy == "reference_distance":
             refs = self.context.lineage_ref_counts()
-            lru_rank = {b: i for i, b in enumerate(self._sizes)}
             # Fewest DAG references first (farthest expected reuse), then
             # least recently used among equals.
             candidates.sort(key=lambda b: (refs.get(b[0], 0), lru_rank[b]))
+        elif self.policy == "cost":
+            # Lowest value density (recompute cost x expected reuse per
+            # byte, DESIGN.md §17) first; LRU breaks ties.
+            scores = self.context.advisor.block_scores(self._sizes)
+            candidates.sort(key=lambda b: (scores.get(b, 0.0), lru_rank[b]))
+        if self._protected_until:
+            protected = {
+                b for b in candidates if self._protected_until.get(b, 0) > self._tick
+            }
+            if protected and len(protected) < len(candidates):
+                candidates = [b for b in candidates if b not in protected] + [
+                    b for b in candidates if b in protected
+                ]
+                self.context.registry.inc(
+                    "memory_shed_deferrals_total",
+                    float(len(protected)),
+                    executor=self.executor_id,
+                )
         return candidates
 
     def _shed_to(
@@ -263,6 +318,7 @@ class MemoryManager:
                 if freed:
                     spilled_bytes += freed
                     self._spilled.add(block_id)
+                    self.ghost.record(block_id, self._tick)
                     before = self._used
                     self._recompute(blocks)
                     registry.inc(
@@ -287,6 +343,8 @@ class MemoryManager:
                 self._sizes.pop(block_id, None)
                 self._fault_bytes.pop(block_id, None)
                 self._spilled.discard(block_id)
+                self._protected_until.pop(block_id, None)
+                self.ghost.record(block_id, self._tick)
                 self._recompute(blocks)
                 evicted_bytes += size
                 context.block_manager_master.mark_evicted(block_id, self.executor_id)

@@ -52,7 +52,10 @@ SPAN_NESTING: dict[str, tuple[str | None, ...]] = {
     "stage": ("job",),
     "task": ("stage",),
     "operator": ("task", "operator"),
-    "span": (None, "query", "phase", "job", "stage", "task", "operator", "span"),
+    "span": (None, "query", "phase", "job", "stage", "task", "operator", "span", "advisor"),
+    # Cache-advisor decision/shed spans fire at query boundaries (inside a
+    # query span), from the serve tier, or driver-side outside any span.
+    "advisor": (None, "query", "phase", "serve", "job", "advisor"),
 }
 
 

@@ -529,14 +529,18 @@ class ShardRouter:
         Returns (rows | None-if-no-live-replica, meta).
         """
         meta = {"failovers": 0, "hedged": False, "cached": False, "split": -1}
+        self.context.advisor.note_serve_view(view)
         count = self.sketch.offer(key)
         hot = count >= self.config.hot_key_min_count
         split = state.partitioner.partition(key)
         meta["split"] = split
-        if (
-            self.config.enable_hot_promotion
-            and count >= self.config.hot_promotion_min_count
-        ):
+        promote_at = self.config.hot_promotion_min_count
+        if self.context.advisor.serve_recurrence(view) >= 4.0:
+            # Advisor-hot view: its decayed recurrence says lookups keep
+            # coming, so replicate hot splits sooner than the sketch alone
+            # would (but never below the hot-key bar).
+            promote_at = max(self.config.hot_key_min_count, promote_at // 4)
+        if self.config.enable_hot_promotion and count >= promote_at:
             self._maybe_promote(view, state, split)
         if hot:
             cached = self.hot_cache.get(view, key, state.version)

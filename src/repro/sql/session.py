@@ -94,10 +94,15 @@ class Session:
         norm = normalize_sql(text)
         epoch = self.catalog.epoch
         entry = self.plan_cache.lookup(norm, epoch)
+        hit = entry is not None
         if entry is None:
             entry = self.plan_cache.store(
                 CachedPlan(norm, epoch, parse_query(text, self.catalog))
             )
+        # Recurrence signal for the cache advisor (DESIGN.md §17): every
+        # planned fingerprint advances its clock; a plan-cache hit is
+        # proven repetition and weighs a little more.
+        self.context.advisor.note_query(norm, plan_cache_hit=hit)
         return entry.logical
 
     def prepare(self, text: str) -> PreparedStatement:
@@ -147,10 +152,48 @@ class Session:
         return physical
 
     def execute(self, logical: LogicalPlan) -> list[tuple]:
+        """Plan and collect, with the cache advisor in the loop.
+
+        For plan-cached query text (``session.sql`` with repeated text) the
+        advisor may hold an auto-materialized result RDD: collecting it
+        serves the rows from the block store (or rebuilds them from lineage
+        if they were shed — never a different answer). Otherwise the
+        advisor gets an admission decision *before* collection, so a query
+        it judges hot populates the cache during this very execution.
+        Prepared statements bind into fresh logical plans with no cache
+        entry, so per-binding results are never auto-cached.
+        """
+        advisor = self.context.advisor
+        entry = self.plan_cache.entry_for_logical(logical)
+        epoch = self.catalog.epoch
+        fingerprint = entry.text if entry is not None and entry.epoch == epoch else None
         with self.context.tracer.start_span("query", kind="query"):
+            if fingerprint is not None:
+                cached_rdd = advisor.auto_cached_rdd(fingerprint, epoch)
+                if cached_rdd is not None:
+                    with self.context.tracer.start_span(
+                        "execute", kind="phase", cached="advisor"
+                    ):
+                        rows = cached_rdd.collect()
+                    advisor.maybe_shed()
+                    return rows
             physical = self.plan_physical(logical)
             with self.context.tracer.start_span("execute", kind="phase"):
-                return physical.execute().collect()
+                rdd = physical.execute()
+                if fingerprint is not None:
+                    rdd = advisor.before_collect(fingerprint, rdd, epoch)
+                t0 = time.perf_counter()
+                rows = rdd.collect()
+                elapsed = time.perf_counter() - t0
+        if fingerprint is not None:
+            advisor.record_execution(fingerprint, elapsed, rows)
+        advisor.maybe_shed()
+        return rows
+
+    def cache_advisor_report(self) -> str:
+        """Human-readable advisor state: per-fingerprint scores, per-block
+        cost-model inputs, served-view recurrence, recent decisions."""
+        return self.context.advisor.report()
 
     # -- EXPLAIN ANALYZE -----------------------------------------------------------
 
